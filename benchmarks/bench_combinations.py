@@ -1,0 +1,92 @@
+"""Extension study: do the enhancements compose?
+
+The paper evaluates each mechanism alone.  Their hook points are
+independent, so combinations are well-defined; this benchmark measures the
+promising pairs against the best single mechanisms on both scenario
+families, plus the message cost (withdrawal fraction) each one pays.
+"""
+
+from _support import RESULTS_DIR
+
+from repro.bgp import combine
+from repro.core import UpdateChurn
+from repro.experiments import RunSettings, run_experiment, tdown_clique, tdown_internet
+from repro.util import mean, render_table
+
+COMBOS = [
+    ("standard",),
+    ("assertion",),
+    ("ghost-flushing",),
+    ("ssld", "ghost-flushing"),
+    ("assertion", "ghost-flushing"),
+    ("ssld", "assertion", "ghost-flushing"),
+]
+SEEDS = (0, 1, 2)
+
+
+def measure(make_scenario):
+    rows = []
+    exhaustions = {}
+    for names in COMBOS:
+        config = combine(names, mrai=30.0)
+        conv, exh, wd_frac = [], [], []
+        for seed in SEEDS:
+            run = run_experiment(
+                make_scenario(seed), config, RunSettings(), seed=seed,
+                keep_network=True,
+            )
+            conv.append(run.result.convergence_time)
+            exh.append(float(run.result.ttl_exhaustions))
+            churn = UpdateChurn.from_trace(run.network.trace, run.failure_time)
+            wd_frac.append(churn.withdrawal_fraction)
+        label = "+".join(names)
+        exhaustions[label] = mean(exh)
+        rows.append([label, mean(conv), mean(exh), mean(wd_frac)])
+    return rows, exhaustions
+
+
+def _save(name, table):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)
+
+
+def test_combinations_clique_tdown(benchmark):
+    rows, exhaustions = benchmark.pedantic(
+        lambda: measure(lambda seed: tdown_clique(8)), rounds=1, iterations=1
+    )
+    _save(
+        "combinations_clique",
+        render_table(
+            ["combination", "convergence_s", "ttl_exhaustions", "withdrawal_frac"],
+            rows,
+            title="Enhancement combinations, Tdown clique-8",
+        ),
+    )
+    best_single = min(exhaustions["assertion"], exhaustions["ghost-flushing"])
+    best_combo = min(
+        exhaustions["ssld+ghost-flushing"],
+        exhaustions["assertion+ghost-flushing"],
+        exhaustions["ssld+assertion+ghost-flushing"],
+    )
+    # Composition never hurts relative to the best single mechanism (within
+    # noise: allow a small absolute cushion for zero-vs-near-zero cases).
+    assert best_combo <= best_single + 25
+
+
+def test_combinations_internet_tdown(benchmark):
+    rows, exhaustions = benchmark.pedantic(
+        lambda: measure(lambda seed: tdown_internet(48, seed=seed)),
+        rounds=1,
+        iterations=1,
+    )
+    _save(
+        "combinations_internet",
+        render_table(
+            ["combination", "convergence_s", "ttl_exhaustions", "withdrawal_frac"],
+            rows,
+            title="Enhancement combinations, Tdown internet-48",
+        ),
+    )
+    assert exhaustions["assertion+ghost-flushing"] < exhaustions["standard"]

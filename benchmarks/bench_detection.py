@@ -1,0 +1,101 @@
+"""Extension study: failure-detection latency vs packet damage.
+
+The paper models interface-level detection — the nodes adjacent to a
+failure react instantly, so all damage comes from *convergence* after
+detection.  Real failures can be silent (detected only by BGP hold-timer
+expiry), which adds a black-hole phase before convergence even starts.
+This benchmark sweeps the hold time on a silent B-Clique Tlong event and
+measures packet fates with the event-driven forwarder, whose FIB lookup is
+wired to the live link state so packets forwarded into the dead link are
+counted as lost.
+"""
+
+from _support import RESULTS_DIR
+
+from repro.bgp import BgpConfig, BgpSpeaker
+from repro.dataplane import PacketForwarder, sources_for
+from repro.engine import RandomStreams, Scheduler
+from repro.net import Network
+from repro.topology import b_clique
+from repro.util import render_table
+
+PREFIX = "dest"
+HOLD_TIMES = (3.0, 9.0, 18.0)
+MEASURE_AFTER_DETECTION = 40.0
+
+
+def run_silent_failure(hold_time: float, seed: int = 0):
+    config = BgpConfig(
+        mrai=5.0,
+        processing_delay=(0.05, 0.15),
+        hold_time=hold_time,
+        keepalive_interval=hold_time / 3.0,
+    )
+    scheduler = Scheduler()
+    streams = RandomStreams(seed)
+    topo = b_clique(5)
+    network = Network(
+        topo,
+        scheduler,
+        lambda nid, sch: BgpSpeaker(nid, sch, config=config, streams=streams),
+    )
+    network.node(0).originate(PREFIX)
+    network.start()
+    scheduler.run(until=60.0)
+
+    failure_time = scheduler.now
+    window_end = failure_time + hold_time + MEASURE_AFTER_DETECTION
+
+    def live_fib(node):
+        next_hop = network.nodes[node].fib.get(PREFIX)
+        if next_hop is None or next_hop == node:
+            return next_hop
+        if not network.link_is_up(node, next_hop):
+            return None  # packet black-holed at the dead link
+        return next_hop
+
+    forwarder = PacketForwarder(scheduler, topo, live_fib, ttl=64)
+    forwarder.launch(
+        sources_for(topo.nodes, 0, rate=5.0), failure_time, window_end
+    )
+    network.fail_link(0, 5, silent=True)
+    scheduler.run(until=window_end + 1.0)
+    for node in network.nodes.values():
+        if node.sessions is not None:
+            node.sessions.teardown_all()
+    scheduler.run()  # drain remaining packet events
+    return forwarder.report
+
+
+def test_detection_latency_costs_packets(benchmark):
+    def sweep():
+        return {hold: run_silent_failure(hold) for hold in HOLD_TIMES}
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for hold, report in reports.items():
+        lost = report.dropped_no_route + report.ttl_exhaustions
+        rows.append(
+            [
+                hold,
+                report.packets_sent,
+                report.delivered,
+                report.dropped_no_route,
+                report.ttl_exhaustions,
+                lost / report.packets_sent,
+            ]
+        )
+    table = render_table(
+        ["hold_s", "packets", "delivered", "no_route", "looped", "loss_ratio"],
+        rows,
+        title="Silent Tlong failure on B-Clique-5: hold time vs packet loss",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "detection_latency.txt").write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)
+
+    losses = [row[3] + row[4] for row in rows]
+    # Longer silent windows black-hole strictly more packets.
+    assert losses == sorted(losses), losses
+    assert losses[-1] > losses[0]

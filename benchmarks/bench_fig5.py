@@ -1,0 +1,30 @@
+"""Figure 5: looping duration and convergence time vs MRAI.
+
+Paper shape: both metrics are linearly proportional to the MRAI value
+(Observation 1; for convergence time this confirms Griffin & Premore).
+"""
+
+from _support import record
+
+from repro.experiments.figures import figure5a, figure5b
+
+MRAI_VALUES = (7.5, 15.0, 30.0, 45.0, 60.0)
+
+
+def test_fig5a_tdown_clique_mrai(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure5a(mrai_values=MRAI_VALUES, clique_size=10, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+    assert all(check.holds for check in figure.checks)
+
+
+def test_fig5b_tlong_bclique_mrai(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure5b(mrai_values=MRAI_VALUES, bclique_size=8, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)

@@ -1,0 +1,47 @@
+"""Figure 6: TTL exhaustions and looping ratio vs topology size.
+
+Paper shape: the looping ratio exceeds 65% for Tdown in larger cliques,
+35% for Tlong in larger B-Cliques, and reaches 86% on the 110-node
+Internet-derived topology.
+"""
+
+from _support import record
+
+from repro.experiments.figures import figure6a, figure6b, figure6c
+
+CLIQUE_SIZES = (5, 8, 11, 14, 17)
+BCLIQUE_SIZES = (4, 6, 8, 10, 12)
+INTERNET_SIZES = (29, 48, 75, 110)
+
+
+def test_fig6a_tdown_clique(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure6a(sizes=CLIQUE_SIZES, mrai=30.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+    # Paper: ratio > 65% for cliques of size >= 15.
+    assert figure.series["looping_ratio"][-1] > 0.65
+
+
+def test_fig6b_tlong_bclique(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure6b(sizes=BCLIQUE_SIZES, mrai=30.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+    # Paper: ratio > 35% for B-Cliques of size >= 15; our largest (12)
+    # should already clear the floor used in the driver check (25%).
+
+
+def test_fig6c_tdown_internet(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure6c(sizes=INTERNET_SIZES, mrai=30.0, seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+    # Paper headline: 86% looping ratio at n=110.
+    assert figure.series["looping_ratio"][-1] > 0.6

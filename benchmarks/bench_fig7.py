@@ -1,0 +1,29 @@
+"""Figure 7: TTL exhaustions and looping ratio vs MRAI value.
+
+Paper shape (Observation 2): exhaustion counts are linearly proportional
+to M; the looping ratio stays almost constant across the sweep.
+"""
+
+from _support import record
+
+from repro.experiments.figures import figure7a, figure7b
+
+MRAI_VALUES = (7.5, 15.0, 30.0, 45.0, 60.0)
+
+
+def test_fig7a_tdown_clique_mrai(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure7a(mrai_values=MRAI_VALUES, clique_size=10, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+
+
+def test_fig7b_tlong_bclique_mrai(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure7b(mrai_values=MRAI_VALUES, bclique_size=8, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)

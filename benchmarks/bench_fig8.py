@@ -1,0 +1,64 @@
+"""Figure 8: the four convergence enhancements under Tdown.
+
+Paper shape: Assertion dominates in cliques; Ghost Flushing cuts looping
+by >= 80% and is best on Internet-derived graphs; SSLD never regresses;
+WRATE is mixed.  SSLD's improvement in this reproduction is larger than the
+paper's "modest" (see EXPERIMENTS.md for the analysis), so the asserted
+checks cover the effective/not-regressing claims only.
+"""
+
+from _support import record
+
+from repro.experiments.figures import figure8a, figure8b, figure8c, figure8d
+
+CLIQUE_SIZES = (5, 8, 11, 14)
+INTERNET_SIZES = (29, 48, 75)
+
+
+def test_fig8a_ttl_normalized_clique(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure8a(sizes=CLIQUE_SIZES, mrai=30.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+    # Assertion is the most effective mechanism in cliques (paper §5).
+    final = {name: values[-1] for name, values in figure.series.items()}
+    assert final["assertion"] == min(final.values())
+
+
+def test_fig8b_convergence_clique(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure8b(sizes=CLIQUE_SIZES, mrai=30.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+    final = {name: values[-1] for name, values in figure.series.items()}
+    assert final["assertion"] < final["standard"]
+    assert final["ghost-flushing"] < final["standard"]
+
+
+def test_fig8c_ttl_internet(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure8c(sizes=INTERNET_SIZES, mrai=30.0, seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+    # Ghost Flushing gives the best results on Internet-derived topologies.
+    final = {name: values[-1] for name, values in figure.series.items()}
+    assert final["ghost-flushing"] <= 0.2 * final["standard"]
+
+
+def test_fig8d_convergence_internet(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure8d(sizes=INTERNET_SIZES, mrai=30.0, seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+    final = {name: values[-1] for name, values in figure.series.items()}
+    # WRATE lengthens Tdown convergence outside cliques (paper §5 / [5]).
+    assert final["wrate"] > final["standard"]
+    assert final["ghost-flushing"] < final["standard"]

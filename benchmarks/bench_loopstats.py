@@ -1,0 +1,86 @@
+"""Extension study: statistics of individual loops (the paper's §6 plan).
+
+"As our next steps, we plan to examine route change traces to measure the
+statistics of individual loops such as the loop size and duration."  This
+benchmark performs that measurement on the reproduced convergence events
+and compares the shape against the measurement literature the paper cites:
+Hengartner et al. found that on a real backbone more than half of observed
+loops involved only two nodes.
+"""
+
+from _support import RESULTS_DIR
+
+from repro.bgp import BgpConfig
+from repro.core import LoopStatistics
+from repro.experiments import (
+    RunSettings,
+    run_experiment,
+    tdown_clique,
+    tdown_internet,
+    tlong_bclique,
+)
+from repro.util import render_table
+
+
+def collect(make_scenario, seeds):
+    parts = []
+    for seed in seeds:
+        run = run_experiment(
+            make_scenario(seed), BgpConfig.standard(30.0), RunSettings(), seed=seed
+        )
+        parts.append(
+            LoopStatistics.from_intervals(
+                run.result.loop_intervals, failure_time=run.failure_time
+            )
+        )
+    return LoopStatistics.merge(parts)
+
+
+def test_individual_loop_statistics(benchmark):
+    def measure():
+        return {
+            "tdown clique-12": collect(lambda s: tdown_clique(12), (0, 1)),
+            "tlong b-clique-8": collect(lambda s: tlong_bclique(8), (0, 1)),
+            "tdown internet-75": collect(
+                lambda s: tdown_internet(75, seed=s), (0, 1)
+            ),
+        }
+
+    stats_by_scenario = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for label, stats in stats_by_scenario.items():
+        assert stats.count > 0, f"{label}: expected loops"
+        rows.append(
+            [
+                label,
+                stats.count,
+                stats.two_node_share(),
+                stats.duration_percentile(50),
+                stats.duration_percentile(90),
+                stats.duration_summary().maximum,
+                max(stats.sizes()),
+            ]
+        )
+    table = render_table(
+        ["scenario", "loops", "2node_share", "p50_life_s", "p90_life_s",
+         "max_life_s", "max_size"],
+        rows,
+        title="Individual-loop statistics (MRAI 30s)",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "loop_statistics.txt").write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)
+
+    for label, stats in stats_by_scenario.items():
+        # Hengartner et al.'s backbone measurement: 2-node loops dominate.
+        # That holds on the internet-like and B-Clique scenarios; dense
+        # full meshes (clique Tdown) grow longer cycles, so the claim is
+        # checked only where the topology resembles a real backbone.
+        if "clique-12" not in label:
+            assert stats.two_node_share() >= 0.5, (label, stats.size_histogram())
+        # No single loop outlives the §3.2 worst-case bound for its size.
+        for interval in stats.intervals:
+            bound = (interval.size - 1) * 30.0
+            assert interval.duration <= bound + 2.0, (label, interval)

@@ -1,0 +1,57 @@
+"""Replication of Griffin & Premore's MRAI optimum (the paper's ref [5]).
+
+Footnote 3 of the paper: the linear convergence-vs-MRAI relationship "holds
+only when the MRAI value is larger than a topology-specific optimal value,
+which is a value large enough for a node to process the messages received
+from all the neighbors."  Sweeping M down through that optimum must produce
+the characteristic U-curve: below it, the un-throttled message storm keeps
+the serialized router CPUs busy and convergence *rises* again as M shrinks.
+"""
+
+from _support import RESULTS_DIR
+
+from repro.bgp import BgpConfig
+from repro.experiments import RunSettings, run_experiment, tdown_clique
+from repro.util import mean, render_series
+
+MRAI_VALUES = (0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0)
+SEEDS = (0, 1)
+CLIQUE = 10
+
+
+def run_sweep():
+    conv, updates = [], []
+    for mrai in MRAI_VALUES:
+        results = [
+            run_experiment(
+                tdown_clique(CLIQUE), BgpConfig.standard(mrai), RunSettings(), seed=s
+            ).result
+            for s in SEEDS
+        ]
+        conv.append(mean([r.convergence_time for r in results]))
+        updates.append(mean([float(r.convergence.update_count) for r in results]))
+    return conv, updates
+
+
+def test_mrai_optimum_u_curve(benchmark):
+    conv, updates = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = render_series(
+        "mrai",
+        list(MRAI_VALUES),
+        [("convergence_s", conv), ("updates", updates)],
+        title=f"Griffin-Premore MRAI optimum (Tdown clique-{CLIQUE})",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "mrai_optimum.txt").write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)
+
+    best = conv.index(min(conv))
+    # The optimum is interior: convergence worsens in BOTH directions.
+    assert 0 < best < len(MRAI_VALUES) - 1, (
+        f"expected an interior optimum, got index {best} of {conv}"
+    )
+    assert conv[0] > 1.5 * conv[best]      # storm regime on the left
+    assert conv[-1] > 1.5 * conv[best]     # rate-limit regime on the right
+    # Message volume decreases monotonically-ish as M grows.
+    assert updates[0] > updates[-1]

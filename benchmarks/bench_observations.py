@@ -1,0 +1,89 @@
+"""Observations 1-3 as one combined benchmark report.
+
+Where the per-figure benchmarks regenerate the paper's plots, this module
+checks the paper's three *Observations* directly on fresh sweeps and
+records one verdict line per claim.
+"""
+
+from _support import RESULTS_DIR
+
+from repro.bgp import BgpConfig
+from repro.core import (
+    check_duration_coupling,
+    check_enhancement_ranking,
+    check_linear_in_mrai,
+    check_ratio_constant,
+)
+from repro.experiments import RunSettings, run_experiment, sweep, tdown_clique
+from repro.experiments import tdown_internet
+from repro.experiments.sweep import series, xs_of
+from repro.util import mean
+
+MRAI_VALUES = [7.5, 15.0, 30.0, 45.0]
+SEEDS = (0, 1)
+
+
+def mrai_sweep_points():
+    return sweep(
+        MRAI_VALUES,
+        lambda x, seed: tdown_clique(10),
+        lambda x: BgpConfig.standard(x),
+        seeds=SEEDS,
+        settings=RunSettings(),
+    )
+
+
+def test_observation1(benchmark):
+    points = benchmark.pedantic(mrai_sweep_points, rounds=1, iterations=1)
+    checks = [
+        check_duration_coupling(
+            series(points, "looping_duration"),
+            series(points, "convergence_time"),
+            max_gap_fraction=0.35,
+        ),
+        check_linear_in_mrai(xs_of(points), series(points, "looping_duration")),
+        check_linear_in_mrai(xs_of(points), series(points, "convergence_time")),
+    ]
+    _write("observation1", checks)
+    assert all(check.holds for check in checks), checks
+
+
+def test_observation2(benchmark):
+    points = benchmark.pedantic(mrai_sweep_points, rounds=1, iterations=1)
+    checks = [
+        check_linear_in_mrai(xs_of(points), series(points, "ttl_exhaustions")),
+        check_ratio_constant(series(points, "looping_ratio")),
+    ]
+    _write("observation2", checks)
+    assert all(check.holds for check in checks), checks
+
+
+def test_observation3(benchmark):
+    from repro.bgp import VARIANT_NAMES, variant
+
+    def measure():
+        metric = {}
+        for name in VARIANT_NAMES:
+            config = variant(name, mrai=30.0)
+            runs = [
+                run_experiment(
+                    tdown_internet(48, seed=seed), config, RunSettings(), seed=seed
+                ).result
+                for seed in (0, 1, 2)
+            ]
+            metric[name] = mean([float(r.ttl_exhaustions) for r in runs])
+        return metric
+
+    metric = benchmark.pedantic(measure, rounds=1, iterations=1)
+    checks = check_enhancement_ranking(metric)
+    _write("observation3", checks, extra=[f"{k}: {v:.1f}" for k, v in metric.items()])
+    assert all(check.holds for check in checks), checks
+
+
+def _write(name, checks, extra=()):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [str(check) for check in checks] + list(extra)
+    (RESULTS_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print()
+    for line in lines:
+        print(f"  {line}")

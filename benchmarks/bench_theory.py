@@ -1,0 +1,37 @@
+"""§3.2 validation: measured loop lifetimes vs the (m-1)·M bound.
+
+Runs the ring-with-backup scenarios and checks every observed single-loop
+lifetime against the analytical worst case.  Also verifies the analytical
+schedule itself agrees with the closed-form bound across (m, k).
+"""
+
+from _support import record
+
+from repro.core import schedule_resolution_time, worst_case_detection_delay
+from repro.experiments.figures import theory_bound_figure
+
+
+def test_theory_loop_lifetime_bound(benchmark):
+    figure = benchmark.pedantic(
+        lambda: theory_bound_figure(
+            ring_sizes=(3, 4, 5, 6, 8), mrai=10.0, seeds=(0, 1, 2)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, figure)
+
+
+def test_theory_schedule_matches_closed_form(benchmark):
+    def sweep_all():
+        mismatches = []
+        for m in range(2, 20):
+            for k in range(2, m + 1):
+                scheduled = schedule_resolution_time(m, k, 30.0)
+                closed = worst_case_detection_delay(m, k, 30.0)
+                if scheduled != closed:
+                    mismatches.append((m, k, scheduled, closed))
+        return mismatches
+
+    mismatches = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    assert mismatches == []

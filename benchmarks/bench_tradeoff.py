@@ -1,0 +1,67 @@
+"""Extension study: the loop-vs-drop tradeoff of fast flushing (§5).
+
+The paper's discussion (not plotted there): Ghost Flushing wins on looping
+by removing reachability information faster than it restores it, so nodes
+drop packets they could have delivered over stale-but-working paths.  The
+same holds, even more strongly, for the Assertion approach.  Measured on
+Tlong events, where delivery remains possible throughout.
+"""
+
+from _support import RESULTS_DIR
+
+from repro.bgp import VARIANT_NAMES
+from repro.experiments import RunSettings, tlong_bclique, tlong_internet
+from repro.experiments.figures.tradeoff import (
+    packet_fate_breakdown,
+    render_fate_table,
+)
+
+
+def _save_and_print(name, table):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)
+
+
+def test_tradeoff_bclique_tlong(benchmark):
+    breakdowns = benchmark.pedantic(
+        lambda: packet_fate_breakdown(
+            lambda seed: tlong_bclique(8),
+            VARIANT_NAMES,
+            mrai=30.0,
+            seeds=(0, 1, 2),
+            settings=RunSettings(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _save_and_print(
+        "tradeoff_bclique",
+        render_fate_table(breakdowns, "Packet fates, Tlong B-Clique-8"),
+    )
+    standard, flushing = breakdowns["standard"], breakdowns["ghost-flushing"]
+    # The tradeoff: far less looping, but notably more no-route drops.
+    assert flushing.looped_ratio < 0.5 * standard.looped_ratio
+    assert flushing.no_route_ratio > 1.5 * standard.no_route_ratio
+
+
+def test_tradeoff_internet_tlong(benchmark):
+    breakdowns = benchmark.pedantic(
+        lambda: packet_fate_breakdown(
+            lambda seed: tlong_internet(48, seed=seed),
+            VARIANT_NAMES,
+            mrai=30.0,
+            seeds=(0, 1, 2),
+            settings=RunSettings(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _save_and_print(
+        "tradeoff_internet",
+        render_fate_table(breakdowns, "Packet fates, Tlong internet-48"),
+    )
+    standard, flushing = breakdowns["standard"], breakdowns["ghost-flushing"]
+    assert flushing.looped_ratio < 0.5 * standard.looped_ratio
+    assert flushing.no_route_ratio > 1.5 * standard.no_route_ratio

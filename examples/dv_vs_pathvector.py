@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""§2 background: distance-vector vs path-vector loop behavior.
+
+Runs the same Tdown event on a ring under (a) a RIP-like distance-vector
+protocol with poison reverse and (b) the BGP path-vector speaker, and
+compares update counts and transient forwarding loops.  The demonstration
+matches the paper's framing:
+
+* DV poison reverse detects 2-node loops only — on a ring the withdrawal
+  triggers counting-to-infinity churn through a multi-node loop;
+* the path vector lets every node discard any path containing itself, so
+  BGP's churn is bounded by path exploration, not by a metric ceiling.
+"""
+
+from repro import BgpConfig, Scheduler
+from repro.bgp import BgpSpeaker
+from repro.core import loop_timeline
+from repro.dataplane import FibChangeLog
+from repro.dv import RipSpeaker
+from repro.engine import RandomStreams
+from repro.net import Network
+from repro.topology import ring
+
+PREFIX = "dest"
+RING_SIZE = 5
+
+
+def run_protocol(label, make_speaker):
+    scheduler = Scheduler()
+    log = FibChangeLog()
+    network = Network(
+        ring(RING_SIZE), scheduler, lambda nid, sch: make_speaker(nid, sch, log)
+    )
+    network.node(0).originate(PREFIX)
+    network.start()
+    scheduler.run(max_events=500_000)
+
+    failure_time = scheduler.now + 1.0
+    scheduler.call_at(
+        failure_time, lambda: network.node(0).withdraw_origin(PREFIX)
+    )
+    messages_before = len(network.trace)
+    scheduler.run(max_events=500_000)
+
+    churn = len(network.trace) - messages_before
+    loops = loop_timeline(log, PREFIX, failure_time, scheduler.now)
+    print(f"\n{label}:")
+    print(f"  update messages after the failure : {churn}")
+    print(f"  distinct transient loops          : {len(loops)}")
+    for interval in loops:
+        members = " -> ".join(str(n) for n in interval.cycle)
+        print(f"    loop [{members}] lasted {interval.duration:.2f}s")
+    return churn
+
+
+def main() -> None:
+    print(
+        f"Tdown on a {RING_SIZE}-node ring: distance vector (poison reverse) "
+        "vs path vector."
+    )
+    streams_dv = RandomStreams(1)
+    dv_churn = run_protocol(
+        "RIP-like distance vector (poison reverse ON)",
+        lambda nid, sch, log: RipSpeaker(
+            nid,
+            sch,
+            streams_dv,
+            processing_delay=(0.1, 0.5),
+            poison_reverse=True,
+            fib_listener=log.record,
+        ),
+    )
+
+    streams_bgp = RandomStreams(1)
+    config = BgpConfig.standard(mrai=30.0)
+    bgp_churn = run_protocol(
+        "BGP path vector (MRAI 30s)",
+        lambda nid, sch, log: BgpSpeaker(
+            nid, sch, config=config, streams=streams_bgp, fib_listener=log.record
+        ),
+    )
+
+    print(
+        f"\nDistance vector needed {dv_churn} updates (counting toward the "
+        f"infinity metric);\npath vector needed {bgp_churn} (bounded path "
+        "exploration, arbitrary-length\nself-loops discarded on receipt)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Observation 3: the four convergence enhancements, side by side.
+
+Runs the five §5 protocol variants — standard BGP, SSLD, WRATE, Assertion,
+Ghost Flushing — on the same Tdown events (a clique and an Internet-like
+graph) and prints convergence time and TTL exhaustions per variant, plus
+the paper's ranking checks.
+
+Usage::
+
+    python examples/enhancement_comparison.py [clique_size] [internet_size]
+"""
+
+import sys
+
+from repro import RunSettings, VARIANT_NAMES, run_experiment, variant
+from repro import tdown_clique, tdown_internet
+from repro.core import check_enhancement_ranking
+from repro.util import mean, render_table
+
+
+def compare(make_scenario, seeds, mrai=30.0):
+    rows = []
+    exhaustions = {}
+    for name in VARIANT_NAMES:
+        config = variant(name, mrai=mrai)
+        results = [
+            run_experiment(make_scenario(seed), config, RunSettings(), seed=seed).result
+            for seed in seeds
+        ]
+        exh = mean([float(r.ttl_exhaustions) for r in results])
+        rows.append(
+            [
+                name,
+                mean([r.convergence_time for r in results]),
+                exh,
+                mean([r.looping_ratio for r in results]),
+            ]
+        )
+        exhaustions[name] = exh
+    return rows, exhaustions
+
+
+def main() -> None:
+    clique_size = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    internet_size = int(sys.argv[2]) if len(sys.argv) > 2 else 29
+    headers = ["variant", "convergence_s", "ttl_exhaustions", "looping_ratio"]
+
+    print(f"Tdown on clique-{clique_size} (2 trials per variant)...")
+    rows, _exh = compare(lambda seed: tdown_clique(clique_size), seeds=(0, 1))
+    print(render_table(headers, rows, title=f"clique-{clique_size} Tdown") + "\n")
+
+    print(f"Tdown on internet-{internet_size} (3 trials per variant)...")
+    rows, exh = compare(
+        lambda seed: tdown_internet(internet_size, seed=seed), seeds=(0, 1, 2)
+    )
+    print(render_table(headers, rows, title=f"internet-{internet_size} Tdown") + "\n")
+
+    print("Observation 3 checks (on the Internet-like Tdown):")
+    for check in check_enhancement_ranking(exh):
+        print(f"  {check}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Route-flap damping meets path exploration (Mao et al., SIGCOMM 2002).
+
+BGP's post-failure path exploration — the very behavior this library
+reproduces from the ICDCS 2004 paper — emits a burst of route changes per
+neighbor.  To an RFC 2439 damper that burst is indistinguishable from a
+flapping route, so dampers suppress routes that are merely *converging*,
+and the network only finishes converging when the reuse timers fire.
+
+This demo runs one Tlong event on a B-Clique twice (with and without
+damping) and prints the difference, plus the per-node suppression counts.
+
+Usage::
+
+    python examples/flap_damping_demo.py [bclique_size] [mrai]
+"""
+
+import sys
+
+from repro.bgp import BgpConfig, DampingConfig
+from repro.experiments import RunSettings, run_experiment, tlong_bclique
+from repro.util import render_table
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    mrai = float(sys.argv[2]) if len(sys.argv) > 2 else 5.0
+    damping = DampingConfig(half_life=120.0, max_suppress_time=600.0)
+    scenario = tlong_bclique(size)
+    print(
+        f"Tlong on B-Clique-{size}, MRAI {mrai}s; damping: suppress at "
+        f"{damping.suppress_threshold:.0f}, reuse at "
+        f"{damping.reuse_threshold:.0f}, half-life {damping.half_life:.0f}s.\n"
+    )
+
+    rows = []
+    damped_run = None
+    for label, config in (
+        ("plain BGP", BgpConfig.standard(mrai)),
+        ("with damping", BgpConfig(mrai=mrai, damping=damping)),
+    ):
+        run = run_experiment(
+            scenario, config, RunSettings(), seed=0, keep_network=True
+        )
+        suppressions = sum(
+            node.damper.suppressions
+            for node in run.network.nodes.values()
+            if node.damper is not None
+        )
+        rows.append(
+            [
+                label,
+                run.result.convergence_time,
+                run.result.ttl_exhaustions,
+                run.result.convergence.update_count,
+                suppressions,
+            ]
+        )
+        if label == "with damping":
+            damped_run = run
+    print(
+        render_table(
+            ["config", "convergence_s", "ttl_exhaustions", "updates",
+             "suppressions"],
+            rows,
+            title="One failure, with and without route-flap damping",
+        )
+    )
+
+    assert damped_run is not None and damped_run.network is not None
+    busiest = sorted(
+        (
+            (node.damper.suppressions, nid)
+            for nid, node in damped_run.network.nodes.items()
+            if node.damper is not None and node.damper.suppressions
+        ),
+        reverse=True,
+    )
+    if busiest:
+        listing = ", ".join(f"AS{nid} x{count}" for count, nid in busiest[:5])
+        print(f"\nMost suppression-happy dampers: {listing}")
+    print(
+        "\nTakeaway: damping lengthens convergence after a SINGLE event by"
+        "\nroughly an order of magnitude here — exploration looks like"
+        "\nflapping.  (This is why operators today run damping with far"
+        "\nmore conservative thresholds, if at all.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Routing policy vs transient loops: shortest-path vs Gao-Rexford.
+
+The paper's simulations use shortest-path routing.  Real inter-domain
+routing applies Gao-Rexford export rules (your own and customer routes go
+to everyone; peer and provider routes go to customers only), which prune
+most of the obsolete backup paths that BGP's path exploration walks through
+after a failure.  This example runs the same Tdown event both ways on the
+same AS-like graph and compares the damage — and verifies that every route
+the Gao-Rexford network selects is valley-free.
+
+Usage::
+
+    python examples/policy_study.py [size] [seed]
+"""
+
+import sys
+
+from repro import BgpConfig, RunSettings
+from repro.bgp import GaoRexfordPolicy, is_valley_free, relationships_from_tiers
+from repro.experiments import custom_tdown, run_experiment
+from repro.topology import choose_destination, internet_like_with_tiers
+from repro.util import render_table
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    # Gao-Rexford requires a genuine tier-1 full mesh (peer routes are
+    # never re-exported to other peers).
+    from repro.topology import InternetShape
+
+    shape = InternetShape(core_mesh_probability=1.0)
+    topo, tiers = internet_like_with_tiers(size, seed=seed, shape=shape)
+    relationships = relationships_from_tiers(topo, tiers)
+    destination = choose_destination(topo, seed=seed)
+    scenario = custom_tdown(topo, destination, name=f"policy-study-{size}")
+    config = BgpConfig.standard(30.0)
+    print(
+        f"Tdown of stub AS {destination} on an AS-like graph "
+        f"(n={size}, seed={seed}), MRAI 30s.\n"
+    )
+
+    audit = {"checked": 0, "violations": 0}
+
+    def audit_converged_routes(network, _failure_time):
+        """Inspect the warm-up steady state before the failure fires."""
+        for _nid, node in network.nodes.items():
+            path = node.full_path(scenario.prefix)
+            if path is None:
+                continue
+            audit["checked"] += 1
+            if not is_valley_free(list(path), relationships):
+                audit["violations"] += 1
+
+    rows = []
+    for label, factory in (
+        ("shortest-path", None),
+        ("gao-rexford", lambda nid: GaoRexfordPolicy(relationships[nid])),
+    ):
+        run = run_experiment(
+            scenario,
+            config,
+            RunSettings(),
+            seed=seed,
+            policy_factory=factory,
+            on_network_ready=(
+                audit_converged_routes if label == "gao-rexford" else None
+            ),
+        )
+        result = run.result
+        rows.append(
+            [
+                label,
+                result.convergence_time,
+                result.ttl_exhaustions,
+                result.looping_ratio,
+                result.convergence.update_count,
+            ]
+        )
+    print(
+        render_table(
+            ["policy", "convergence_s", "ttl_exhaustions", "looping_ratio", "updates"],
+            rows,
+            title="Same failure, two policies",
+        )
+    )
+    print(
+        f"\nValley-free audit of the converged Gao-Rexford routes: "
+        f"{audit['checked']} routes checked, {audit['violations']} violations."
+    )
+    print(
+        "\nTakeaway: policy filtering shrinks the explorable path space, so"
+        "\nthe paper's shortest-path setting is close to a worst case for"
+        "\ntransient looping; economically-filtered BGP explores (and loops)"
+        "\nfar less."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — a reproduction of "A Study of BGP Path Vector Route Looping
+Behavior" (Pei, Zhao, Massey, Zhang; ICDCS 2004).
+
+A discrete-event BGP path-vector simulator with a transient-loop analysis
+toolkit.  The typical entry points:
+
+>>> from repro import run_experiment, tdown_clique, BgpConfig
+>>> run = run_experiment(tdown_clique(6), BgpConfig.standard(mrai=5.0))
+>>> run.result.convergence_time > 0
+True
+
+See :mod:`repro.experiments.figures` for drivers that regenerate every
+figure of the paper's evaluation, and DESIGN.md / EXPERIMENTS.md at the
+repository root for the system inventory and the reproduced results.
+"""
+
+from .bgp import (
+    AsPath,
+    BgpConfig,
+    BgpSpeaker,
+    Route,
+    RoutingPolicy,
+    ShortestPathPolicy,
+    VARIANT_NAMES,
+    all_variants,
+    variant,
+)
+from .core import (
+    LoopStudyResult,
+    find_loops,
+    is_loop_free,
+    loop_timeline,
+    measure_convergence,
+    worst_case_loop_duration,
+)
+from .dataplane import (
+    CbrSource,
+    DataPlaneReport,
+    EpochEvaluator,
+    FibChangeLog,
+    ForwardingGraph,
+    PacketForwarder,
+    walk,
+)
+from .engine import RandomStreams, Scheduler
+from .errors import ReproError
+from .experiments import (
+    ExperimentRun,
+    FigureData,
+    RunSettings,
+    Scenario,
+    run_experiment,
+    sweep,
+    tdown_clique,
+    tdown_internet,
+    tlong_bclique,
+    tlong_internet,
+)
+from .net import Network
+from .topology import Topology, b_clique, clique, internet_like
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsPath",
+    "BgpConfig",
+    "BgpSpeaker",
+    "CbrSource",
+    "DataPlaneReport",
+    "EpochEvaluator",
+    "ExperimentRun",
+    "FibChangeLog",
+    "FigureData",
+    "ForwardingGraph",
+    "LoopStudyResult",
+    "Network",
+    "PacketForwarder",
+    "RandomStreams",
+    "ReproError",
+    "Route",
+    "RoutingPolicy",
+    "RunSettings",
+    "Scenario",
+    "Scheduler",
+    "ShortestPathPolicy",
+    "Topology",
+    "VARIANT_NAMES",
+    "all_variants",
+    "b_clique",
+    "clique",
+    "find_loops",
+    "internet_like",
+    "is_loop_free",
+    "loop_timeline",
+    "measure_convergence",
+    "run_experiment",
+    "sweep",
+    "tdown_clique",
+    "tdown_internet",
+    "tlong_bclique",
+    "tlong_internet",
+    "variant",
+    "walk",
+    "worst_case_loop_duration",
+    "__version__",
+]

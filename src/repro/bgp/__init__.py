@@ -1,0 +1,70 @@
+"""The BGP path-vector protocol implementation.
+
+Public surface: :class:`BgpSpeaker` (the router), :class:`BgpConfig` (which
+protocol variant it speaks), the RIB/route/path value types, and the §5
+variant registry (:func:`variant` / :data:`VARIANT_NAMES`).
+"""
+
+from .config import DEFAULT_PROCESSING_DELAY, BgpConfig
+from .damping import DampingConfig, RouteFlapDamper
+from .decision import DecisionProcess
+from .messages import Announcement, Keepalive, Prefix, Withdrawal, is_update
+from .session import SessionManager
+from .mrai import DEFAULT_JITTER, DEFAULT_MRAI, MraiManager
+from .path import AsPath
+from .policy import (
+    NoTransitForPrefix,
+    PreferNeighbor,
+    RoutingPolicy,
+    ShortestPathPolicy,
+)
+from .relationships import (
+    GaoRexfordPolicy,
+    Relationship,
+    is_valley_free,
+    relationships_from_tiers,
+)
+from .rib import NOTHING_SENT, AdjRibIn, AdjRibOut, LocRib, SentState
+from .route import DEFAULT_LOCAL_PREF, Route, local_route
+from .speaker import BgpSpeaker, FibListener
+from .variants import VARIANT_NAMES, all_variants, combine, variant
+
+__all__ = [
+    "AdjRibIn",
+    "AdjRibOut",
+    "Announcement",
+    "AsPath",
+    "BgpConfig",
+    "BgpSpeaker",
+    "DEFAULT_JITTER",
+    "DEFAULT_LOCAL_PREF",
+    "DEFAULT_MRAI",
+    "DEFAULT_PROCESSING_DELAY",
+    "DampingConfig",
+    "DecisionProcess",
+    "FibListener",
+    "GaoRexfordPolicy",
+    "Keepalive",
+    "LocRib",
+    "MraiManager",
+    "NOTHING_SENT",
+    "NoTransitForPrefix",
+    "Prefix",
+    "PreferNeighbor",
+    "Relationship",
+    "Route",
+    "RouteFlapDamper",
+    "RoutingPolicy",
+    "SentState",
+    "SessionManager",
+    "ShortestPathPolicy",
+    "VARIANT_NAMES",
+    "Withdrawal",
+    "all_variants",
+    "combine",
+    "is_update",
+    "is_valley_free",
+    "local_route",
+    "relationships_from_tiers",
+    "variant",
+]

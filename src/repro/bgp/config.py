@@ -1,0 +1,129 @@
+"""Configuration for a BGP speaker / protocol variant.
+
+One immutable :class:`BgpConfig` describes everything that distinguishes the
+five protocols the paper compares: the MRAI value, and which of the four
+convergence enhancements are active.  The paper's simulator settings
+(processing delay U[0.1, 0.5] s) live here too, so an experiment is fully
+described by ``(topology, event, BgpConfig, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+from .damping import DampingConfig
+from .mrai import DEFAULT_JITTER, DEFAULT_MRAI
+
+DEFAULT_PROCESSING_DELAY = (0.1, 0.5)
+"""The paper's routing-message processing delay: uniform on [0.1 s, 0.5 s]."""
+
+
+@dataclass(frozen=True)
+class BgpConfig:
+    """Immutable knobs for one speaker.
+
+    Attributes
+    ----------
+    mrai:
+        The Minimum Route Advertisement Interval M in seconds (0 disables).
+    mrai_jitter:
+        Multiplicative jitter range applied each time a timer is armed.
+    processing_delay:
+        ``(low, high)`` of the uniform per-message CPU service time.
+    wrate:
+        Withdrawal Rate Limiting — MRAI applies to withdrawals too
+        (adopted as standard by the post-RFC1771 specification drafts).
+    ssld:
+        Sender-Side Loop Detection — a path the receiver would discard is
+        replaced by an immediate withdrawal.
+    assertion:
+        The Assertion approach — receiving a route invalidates stored
+        routes that are provably inconsistent with it.
+    ghost_flushing:
+        Ghost Flushing — moving to a longer path while MRAI holds the
+        announcement triggers an immediate withdrawal "flush".
+    """
+
+    mrai: float = DEFAULT_MRAI
+    mrai_jitter: Tuple[float, float] = DEFAULT_JITTER
+    processing_delay: Tuple[float, float] = DEFAULT_PROCESSING_DELAY
+    wrate: bool = False
+    ssld: bool = False
+    assertion: bool = False
+    ghost_flushing: bool = False
+    hold_time: float = 0.0
+    keepalive_interval: float = 0.0
+    damping: Optional[DampingConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.mrai < 0:
+            raise ConfigError(f"mrai must be >= 0, got {self.mrai}")
+        low, high = self.mrai_jitter
+        if not (0 < low <= high):
+            raise ConfigError(f"mrai_jitter must satisfy 0 < low <= high: {self.mrai_jitter}")
+        lo, hi = self.processing_delay
+        if not (0 <= lo <= hi):
+            raise ConfigError(
+                f"processing_delay must satisfy 0 <= low <= high: {self.processing_delay}"
+            )
+        if self.hold_time < 0:
+            raise ConfigError(f"hold_time must be >= 0, got {self.hold_time}")
+        if self.keepalive_interval < 0:
+            raise ConfigError(
+                f"keepalive_interval must be >= 0, got {self.keepalive_interval}"
+            )
+        if self.hold_time > 0 and self.effective_keepalive >= self.hold_time:
+            raise ConfigError(
+                f"keepalive interval {self.effective_keepalive} must be "
+                f"shorter than hold time {self.hold_time}"
+            )
+
+    @property
+    def sessions_enabled(self) -> bool:
+        """True when the keepalive/hold-timer session layer is active.
+
+        With sessions off (the default, and the paper's model) a speaker
+        learns of adjacency failures instantly from the interface; with
+        sessions on, a *silent* failure is detected only when the hold
+        timer expires.  Session mode keeps keepalive timers armed forever,
+        so it is for manually-driven simulations (``scheduler.run(until=)``)
+        rather than the run-to-quiescence experiment harness.
+        """
+        return self.hold_time > 0
+
+    @property
+    def effective_keepalive(self) -> float:
+        """The keepalive interval in force (defaults to hold_time / 3)."""
+        if self.keepalive_interval > 0:
+            return self.keepalive_interval
+        return self.hold_time / 3.0
+
+    # ------------------------------------------------------------------
+    # Named variants (the five protocols of §5)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def standard(cls, mrai: float = DEFAULT_MRAI) -> "BgpConfig":
+        """Standard BGP per RFC 1771 (withdrawals not rate-limited)."""
+        return cls(mrai=mrai)
+
+    def with_mrai(self, mrai: float) -> "BgpConfig":
+        """This config with a different MRAI value (for MRAI sweeps)."""
+        return replace(self, mrai=mrai)
+
+    @property
+    def variant_name(self) -> str:
+        """Short human-readable name of the enabled enhancement set."""
+        enabled = [
+            name
+            for name, active in (
+                ("ssld", self.ssld),
+                ("wrate", self.wrate),
+                ("assertion", self.assertion),
+                ("ghost-flushing", self.ghost_flushing),
+            )
+            if active
+        ]
+        return "+".join(enabled) if enabled else "standard"

@@ -1,0 +1,71 @@
+"""The BGP decision process.
+
+Given the local origination (if any) and the Adj-RIB-In candidates, pick the
+best route under the active :class:`~repro.bgp.policy.RoutingPolicy`.  The
+decision process is a pure function of RIB state, which makes the speaker's
+invariant checkable: *Loc-RIB always equals the decision-process optimum.*
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .messages import Prefix
+from .policy import RoutingPolicy
+from .rib import AdjRibIn
+from .route import Route, local_route
+
+UsablePredicate = Callable[[Route], bool]
+"""Extra eligibility filter (e.g. route-flap damping suppression)."""
+
+
+class DecisionProcess:
+    """Selects best routes under a policy."""
+
+    def __init__(self, policy: RoutingPolicy) -> None:
+        self._policy = policy
+
+    @property
+    def policy(self) -> RoutingPolicy:
+        return self._policy
+
+    def candidates(
+        self,
+        prefix: Prefix,
+        adj_rib_in: AdjRibIn,
+        originated: bool,
+        usable: Optional[UsablePredicate] = None,
+    ) -> List[Route]:
+        """All selectable routes for ``prefix`` (deterministic order).
+
+        ``usable`` excludes stored-but-ineligible routes — a damped
+        (peer, prefix) stays in the Adj-RIB-In per RFC 2439 but must not be
+        selected while suppressed.
+        """
+        routes: List[Route] = []
+        if originated:
+            routes.append(local_route(prefix))
+        for route in adj_rib_in.candidates(prefix):
+            if usable is None or usable(route):
+                routes.append(route)
+        return routes
+
+    def select(
+        self,
+        prefix: Prefix,
+        adj_rib_in: AdjRibIn,
+        originated: bool,
+        usable: Optional[UsablePredicate] = None,
+    ) -> Optional[Route]:
+        """The best route for ``prefix``, or ``None`` when unreachable."""
+        routes = self.candidates(prefix, adj_rib_in, originated, usable)
+        if not routes:
+            return None
+        return min(routes, key=self._policy.preference_key)
+
+    def prefers(self, challenger: Route, incumbent: Route) -> bool:
+        """True when ``challenger`` would beat ``incumbent``."""
+        return (
+            self._policy.preference_key(challenger)
+            < self._policy.preference_key(incumbent)
+        )

@@ -1,0 +1,76 @@
+"""BGP control-plane messages.
+
+Only the two message kinds that drive convergence dynamics are modeled:
+announcements (UPDATE with NLRI) and withdrawals (UPDATE with withdrawn
+routes).  Session management (OPEN/KEEPALIVE/NOTIFICATION) is abstracted
+away: peerings exist while the underlying link is up, which matches how the
+paper treats adjacencies.
+
+Prefixes are opaque strings (e.g. ``"d0"``); the simulations use one prefix,
+but the speaker handles any number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .path import AsPath
+
+Prefix = str
+"""Type alias for destination identifiers."""
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """An UPDATE advertising ``path`` as the sender's route to ``prefix``.
+
+    ``path`` is the path *as sent*: the sender's own AS number is the head.
+    """
+
+    prefix: Prefix
+    path: AsPath
+
+    def __post_init__(self) -> None:
+        if self.path.is_empty:
+            raise ValueError("an announcement must carry a non-empty AS path")
+
+    @property
+    def sender(self) -> int:
+        """The advertising AS (head of the path)."""
+        assert self.path.head is not None
+        return self.path.head
+
+    def __repr__(self) -> str:
+        return f"Announce[{self.prefix} via {self.path!r}]"
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """An UPDATE withdrawing the sender's previously-announced route."""
+
+    prefix: Prefix
+
+    def __repr__(self) -> str:
+        return f"Withdraw[{self.prefix}]"
+
+
+@dataclass(frozen=True)
+class Keepalive:
+    """A KEEPALIVE: refreshes the receiver's hold timer, carries no routes.
+
+    Only exchanged when the speaker's session layer is enabled
+    (``BgpConfig.hold_time > 0``); the paper's experiments model instant
+    interface-level failure detection and never need them.
+    """
+
+    def __repr__(self) -> str:
+        return "Keepalive"
+
+
+def is_update(message: object) -> bool:
+    """True for the messages that count toward convergence time.
+
+    The paper measures convergence as "the time the last BGP update message
+    is sent"; both announcements and withdrawals are updates.
+    """
+    return isinstance(message, (Announcement, Withdrawal))

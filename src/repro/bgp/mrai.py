@@ -1,0 +1,127 @@
+"""The Minimum Route Advertisement Interval (MRAI) machinery.
+
+"BGP also uses a Minimum Route Advertisement Interval (MRAI) timer to space
+out consecutive updates for the same destination by M seconds (default value
+30) with a small jitter interval" (§3).  The study implements the timer "on a
+per (destination, neighbor) pair base", and so does this module.
+
+Semantics implemented (RFC 1771 / SSFNET style):
+
+* When an advertisement for (prefix, peer) is sent, the timer for that pair
+  is armed with a jittered interval.
+* While the timer runs, further advertisements for the pair are held; when
+  it expires the speaker re-derives the desired advertisement from *current*
+  state (so intermediate flaps collapse into one update) and, if something
+  must be sent, sends it and re-arms.
+* Withdrawals bypass the timer unless WRATE is enabled, in which case they
+  are held exactly like advertisements.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Tuple
+
+from ..engine import Scheduler, Timer
+from .messages import Prefix
+
+DEFAULT_MRAI = 30.0
+"""The protocol default of M = 30 seconds."""
+
+DEFAULT_JITTER = (0.75, 1.0)
+"""RFC 1771's suggested jitter: the configured value scaled by U[0.75, 1]."""
+
+ExpiryCallback = Callable[[int, Prefix], None]
+
+
+class MraiManager:
+    """Per-(peer, prefix) MRAI timers for one speaker.
+
+    Parameters
+    ----------
+    scheduler:
+        Simulation scheduler the timers run on.
+    interval:
+        The configured M in seconds.  ``0`` disables rate limiting entirely
+        (every ``can_send_now`` is True) — used by ablation experiments.
+    jitter:
+        ``(low, high)`` multiplicative jitter range applied per arming.
+    rng:
+        Source for jitter draws (a named stream from the run's
+        :class:`~repro.engine.rng.RandomStreams`).
+    on_expiry:
+        ``callback(peer, prefix)`` invoked when a timer fires; the speaker
+        re-evaluates what (if anything) to send to that peer.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        interval: float,
+        jitter: Tuple[float, float],
+        rng: random.Random,
+        on_expiry: ExpiryCallback,
+    ) -> None:
+        if interval < 0:
+            raise ValueError(f"MRAI interval must be >= 0, got {interval}")
+        low, high = jitter
+        if not (0 < low <= high):
+            raise ValueError(f"jitter range must satisfy 0 < low <= high, got {jitter}")
+        self._scheduler = scheduler
+        self._interval = interval
+        self._jitter = jitter
+        self._rng = rng
+        self._on_expiry = on_expiry
+        self._timers: Dict[Tuple[int, Prefix], Timer] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def interval(self) -> float:
+        """The configured (un-jittered) M value."""
+        return self._interval
+
+    @property
+    def enabled(self) -> bool:
+        return self._interval > 0
+
+    def can_send_now(self, peer: int, prefix: Prefix) -> bool:
+        """True when no MRAI hold is in effect for ``(peer, prefix)``."""
+        if not self.enabled:
+            return True
+        timer = self._timers.get((peer, prefix))
+        return timer is None or not timer.running
+
+    def mark_sent(self, peer: int, prefix: Prefix) -> None:
+        """Record that a rate-limited update was just sent; arm the timer."""
+        if not self.enabled:
+            return
+        timer = self._timers.get((peer, prefix))
+        if timer is None:
+            timer = Timer(
+                self._scheduler,
+                callback=lambda p=peer, x=prefix: self._on_expiry(p, x),
+                name=f"mrai:{peer}:{prefix}",
+            )
+            self._timers[(peer, prefix)] = timer
+        timer.restart(self._draw_interval())
+
+    def holding(self, peer: int, prefix: Prefix) -> bool:
+        """True while updates for the pair are being held by the timer."""
+        return not self.can_send_now(peer, prefix)
+
+    def cancel_peer(self, peer: int) -> None:
+        """Drop all timers toward ``peer`` (session went down)."""
+        for (timer_peer, _prefix), timer in list(self._timers.items()):
+            if timer_peer == peer:
+                timer.cancel()
+
+    def active_timers(self) -> int:
+        """Number of currently-running timers (diagnostics)."""
+        return sum(1 for t in self._timers.values() if t.running)
+
+    # ------------------------------------------------------------------
+
+    def _draw_interval(self) -> float:
+        low, high = self._jitter
+        return self._interval * self._rng.uniform(low, high)

@@ -1,0 +1,148 @@
+"""AS-path algebra.
+
+The AS path is the defining attribute of a path-vector protocol: every
+announcement carries the full sequence of ASes toward the destination, and
+the paper's §3 reasons about paths with a concatenation operator "·" and a
+containment test (the path-based poison reverse).  :class:`AsPath` implements
+exactly that algebra as an immutable value type.
+
+Conventions (matching the paper's notation):
+
+* ``AsPath((5, 4, 0))`` is the path "5 4 0": the head (index 0) is the AS
+  that most recently advertised the route, the tail is the origin AS.
+* A node *stores* the path exactly as received and *prepends itself* when
+  re-advertising, so a route's advertised form is ``path.prepend(self_id)``.
+* The empty path is valid: it is the path of a locally-originated route.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..errors import ProtocolError
+
+
+class AsPath:
+    """An immutable sequence of AS numbers, most-recent-first.
+
+    Supports the operations the protocol and the paper's analysis need:
+    prepend (advertisement), containment (loop detection), concatenation
+    (the "·" operator of §3.2), suffix extraction (the Assertion check),
+    and value equality/hashing (RIB bookkeeping).
+    """
+
+    __slots__ = ("_ases",)
+
+    def __init__(self, ases: Iterable[int] = ()) -> None:
+        path = tuple(int(a) for a in ases)
+        if any(a < 0 for a in path):
+            raise ProtocolError(f"AS numbers must be non-negative: {path}")
+        if len(set(path)) != len(path):
+            raise ProtocolError(f"AS path may not contain duplicates: {path}")
+        self._ases = path
+
+    # ------------------------------------------------------------------
+    # Basic sequence behavior
+    # ------------------------------------------------------------------
+
+    @property
+    def ases(self) -> Tuple[int, ...]:
+        """The AS numbers as a tuple, most-recent-first."""
+        return self._ases
+
+    def __len__(self) -> int:
+        return len(self._ases)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ases)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._ases
+
+    def __getitem__(self, index):
+        return self._ases[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AsPath):
+            return self._ases == other._ases
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._ases)
+
+    def __repr__(self) -> str:
+        body = " ".join(str(a) for a in self._ases)
+        return f"({body})"
+
+    # ------------------------------------------------------------------
+    # Path-vector operations
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the path of a locally-originated route."""
+        return not self._ases
+
+    @property
+    def head(self) -> Optional[int]:
+        """The most recent AS (the advertising neighbor), or ``None``."""
+        return self._ases[0] if self._ases else None
+
+    @property
+    def origin(self) -> Optional[int]:
+        """The origin AS (last element), or ``None`` for the empty path."""
+        return self._ases[-1] if self._ases else None
+
+    def prepend(self, asn: int) -> "AsPath":
+        """The path as advertised by ``asn``: ``asn`` prefixed to this path.
+
+        Raises :class:`ProtocolError` if ``asn`` already appears — a speaker
+        advertising a path through itself is a protocol bug.
+        """
+        if asn in self._ases:
+            raise ProtocolError(f"AS {asn} already in path {self!r}")
+        return AsPath((asn,) + self._ases)
+
+    def concat(self, other: "AsPath") -> "AsPath":
+        """The paper's "·" operator: this path followed by ``other``.
+
+        Used by the analytical model of §3.2, e.g.
+        ``(c_1 .. c_k) · path(c_k, old)``.
+        """
+        return AsPath(self._ases + other._ases)
+
+    def contains_any(self, ases: Iterable[int]) -> bool:
+        """True if any AS from ``ases`` appears in this path."""
+        mine = set(self._ases)
+        return any(a in mine for a in ases)
+
+    def suffix_from(self, asn: int) -> Optional["AsPath"]:
+        """The sub-path starting at ``asn`` (inclusive), or ``None``.
+
+        This is the Assertion approach's consistency probe: node *v* checks
+        whether a stored path's suffix from neighbor *u* matches *u*'s
+        currently-announced path.
+        """
+        try:
+            index = self._ases.index(asn)
+        except ValueError:
+            return None
+        return AsPath(self._ases[index:])
+
+    def next_after(self, asn: int) -> Optional[int]:
+        """The AS that follows ``asn`` on the way to the origin, if any."""
+        try:
+            index = self._ases.index(asn)
+        except ValueError:
+            return None
+        if index + 1 >= len(self._ases):
+            return None
+        return self._ases[index + 1]
+
+    @classmethod
+    def empty(cls) -> "AsPath":
+        """The path of a locally-originated route."""
+        return _EMPTY
+
+
+_EMPTY = AsPath(())

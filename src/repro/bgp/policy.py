@@ -1,0 +1,104 @@
+"""Routing policy hooks.
+
+The paper assumes "a shortest-path routing policy, and the smaller node ID is
+used for tie-breaking between equal length paths".  That is the default
+policy here; the :class:`RoutingPolicy` interface additionally exposes the
+standard BGP policy knobs (import/export filtering, LOCAL_PREF assignment) so
+the library is usable beyond the paper's scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .messages import Prefix
+from .route import DEFAULT_LOCAL_PREF, Route
+
+
+class RoutingPolicy:
+    """Base policy: accept everything, shortest path, low-id tie-break.
+
+    Subclass and override any hook.  All hooks are pure functions of their
+    arguments; policies must not keep per-call mutable state, because the
+    speaker may re-evaluate routes at any time.
+    """
+
+    # ------------------------------------------------------------------
+    # Import side
+    # ------------------------------------------------------------------
+
+    def accept_import(self, neighbor: int, route: Route) -> bool:
+        """Whether to store ``route`` learned from ``neighbor``.
+
+        Loop detection (path-based poison reverse) happens *before* this
+        hook and cannot be disabled by policy.
+        """
+        del neighbor, route
+        return True
+
+    def local_pref(self, neighbor: int, route: Route) -> int:
+        """LOCAL_PREF to assign to a route learned from ``neighbor``."""
+        del neighbor, route
+        return DEFAULT_LOCAL_PREF
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def preference_key(self, route: Route) -> Tuple:
+        """Total-order key; the *smallest* key wins.
+
+        Default: higher LOCAL_PREF, then shorter AS path, then smaller
+        next-hop node id (local origination, next_hop ``None``, sorts before
+        every neighbor — a node always prefers its own origination).
+        """
+        next_hop_rank = -1 if route.next_hop is None else route.next_hop
+        return (-route.local_pref, route.hop_count, next_hop_rank)
+
+    # ------------------------------------------------------------------
+    # Export side
+    # ------------------------------------------------------------------
+
+    def accept_export(self, neighbor: int, route: Route) -> bool:
+        """Whether to advertise ``route`` to ``neighbor``.
+
+        Default full-mesh transit: advertise the best route to every peer
+        (the receiver's poison reverse handles paths containing itself).
+        """
+        del neighbor, route
+        return True
+
+
+class ShortestPathPolicy(RoutingPolicy):
+    """The paper's policy, by its own name — identical to the base class."""
+
+
+class NoTransitForPrefix(RoutingPolicy):
+    """Example policy: refuse to transit traffic for one prefix.
+
+    A route for ``prefix`` learned from a neighbor is used locally but never
+    re-exported.  Included as a realistic policy-hook exercise for tests and
+    examples; the paper's experiments do not use it.
+    """
+
+    def __init__(self, prefix: Prefix) -> None:
+        self._prefix = prefix
+
+    def accept_export(self, neighbor: int, route: Route) -> bool:
+        if route.prefix == self._prefix and not route.is_local:
+            return False
+        return True
+
+
+class PreferNeighbor(RoutingPolicy):
+    """Example policy: LOCAL_PREF boost for routes via a chosen neighbor."""
+
+    def __init__(self, neighbor: int, boost: int = 50) -> None:
+        self._neighbor = neighbor
+        self._boost = boost
+
+    def local_pref(self, neighbor: int, route: Route) -> int:
+        base = DEFAULT_LOCAL_PREF
+        if neighbor == self._neighbor:
+            return base + self._boost
+        return base

@@ -1,0 +1,147 @@
+"""The three BGP routing information bases.
+
+* :class:`AdjRibIn` — per-neighbor copies of "the most recent paths received
+  from each of its neighbors" (paper §3); this is what path exploration
+  walks through after a failure.
+* :class:`LocRib` — the selected best route per prefix.
+* :class:`AdjRibOut` — what was last *sent* to each neighbor, used both to
+  suppress duplicate advertisements ("the route to each destination is
+  advertised only once; subsequent updates are sent only upon route
+  changes") and as the reference point for Ghost Flushing's
+  "changed to a longer path" test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .messages import Prefix
+from .path import AsPath
+from .route import Route
+
+
+class AdjRibIn:
+    """Routes received from neighbors, keyed ``(neighbor, prefix)``."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[int, Dict[Prefix, Route]] = {}
+
+    def put(self, neighbor: int, route: Route) -> None:
+        """Store/replace the route from ``neighbor`` for ``route.prefix``."""
+        self._routes.setdefault(neighbor, {})[route.prefix] = route
+
+    def get(self, neighbor: int, prefix: Prefix) -> Optional[Route]:
+        return self._routes.get(neighbor, {}).get(prefix)
+
+    def remove(self, neighbor: int, prefix: Prefix) -> Optional[Route]:
+        """Drop and return the stored route, or ``None`` if absent."""
+        by_prefix = self._routes.get(neighbor)
+        if not by_prefix:
+            return None
+        return by_prefix.pop(prefix, None)
+
+    def drop_neighbor(self, neighbor: int) -> List[Prefix]:
+        """Forget everything from ``neighbor`` (session down).
+
+        Returns the prefixes that lost a candidate, so the caller can re-run
+        the decision process for exactly those.
+        """
+        by_prefix = self._routes.pop(neighbor, {})
+        return sorted(by_prefix)
+
+    def candidates(self, prefix: Prefix) -> List[Route]:
+        """All stored routes for ``prefix``, neighbor-id order (deterministic)."""
+        found = []
+        for neighbor in sorted(self._routes):
+            route = self._routes[neighbor].get(prefix)
+            if route is not None:
+                found.append(route)
+        return found
+
+    def neighbors_with(self, prefix: Prefix) -> List[int]:
+        """Neighbors currently contributing a route for ``prefix``."""
+        return [n for n in sorted(self._routes) if prefix in self._routes[n]]
+
+    def entries(self) -> Iterator[Tuple[int, Route]]:
+        """All ``(neighbor, route)`` pairs, deterministic order."""
+        for neighbor in sorted(self._routes):
+            for prefix in sorted(self._routes[neighbor]):
+                yield neighbor, self._routes[neighbor][prefix]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._routes.values())
+
+
+class LocRib:
+    """The best route per prefix, as selected by the decision process."""
+
+    def __init__(self) -> None:
+        self._best: Dict[Prefix, Route] = {}
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        return self._best.get(prefix)
+
+    def set(self, route: Route) -> None:
+        self._best[route.prefix] = route
+
+    def remove(self, prefix: Prefix) -> Optional[Route]:
+        return self._best.pop(prefix, None)
+
+    def prefixes(self) -> List[Prefix]:
+        return sorted(self._best)
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._best
+
+
+@dataclass(frozen=True)
+class SentState:
+    """What a speaker last told one neighbor about one prefix.
+
+    ``path`` is the advertised path (speaker's AS at the head) or ``None``
+    after a withdrawal / before any advertisement.
+    """
+
+    path: Optional[AsPath]
+
+    @property
+    def is_withdrawn(self) -> bool:
+        return self.path is None
+
+
+NOTHING_SENT = SentState(path=None)
+
+
+class AdjRibOut:
+    """Last advertisement per ``(neighbor, prefix)``."""
+
+    def __init__(self) -> None:
+        self._sent: Dict[int, Dict[Prefix, SentState]] = {}
+
+    def last_sent(self, neighbor: int, prefix: Prefix) -> SentState:
+        """What the neighbor currently believes we advertised.
+
+        Before any message this is :data:`NOTHING_SENT`, which compares equal
+        to the state after an explicit withdrawal — correctly so, since in
+        both cases the neighbor holds no route from us.
+        """
+        return self._sent.get(neighbor, {}).get(prefix, NOTHING_SENT)
+
+    def record_announcement(self, neighbor: int, prefix: Prefix, path: AsPath) -> None:
+        self._sent.setdefault(neighbor, {})[prefix] = SentState(path=path)
+
+    def record_withdrawal(self, neighbor: int, prefix: Prefix) -> None:
+        self._sent.setdefault(neighbor, {})[prefix] = SentState(path=None)
+
+    def drop_neighbor(self, neighbor: int) -> None:
+        """Forget the neighbor entirely (session down)."""
+        self._sent.pop(neighbor, None)
+
+    def advertised_prefixes(self, neighbor: int) -> List[Prefix]:
+        """Prefixes for which the neighbor holds a live advertisement."""
+        by_prefix = self._sent.get(neighbor, {})
+        return sorted(p for p, state in by_prefix.items() if not state.is_withdrawn)

@@ -1,0 +1,80 @@
+"""Routes: a prefix bound to an AS path with bookkeeping attributes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .messages import Prefix
+from .path import AsPath
+
+LOCAL_NEXT_HOP: Optional[int] = None
+"""``next_hop`` of a locally-originated route (traffic is delivered here)."""
+
+DEFAULT_LOCAL_PREF = 100
+"""BGP's customary default LOCAL_PREF."""
+
+
+@dataclass(frozen=True)
+class Route:
+    """One candidate route to ``prefix``.
+
+    Attributes
+    ----------
+    prefix:
+        The destination.
+    path:
+        The AS path *as stored*: exactly what the neighbor advertised (its
+        own AS is the head), or the empty path for a local origination.
+    next_hop:
+        The neighbor the route was learned from, or ``None`` for local.
+    local_pref:
+        Policy preference; higher wins (standard BGP semantics).  The
+        paper's experiments leave every route at the default, making the
+        decision purely shortest-path.
+    learned_at:
+        Simulation time the route entered the RIB (diagnostics only; not
+        part of equality so RIB comparisons stay value-based).
+    """
+
+    prefix: Prefix
+    path: AsPath
+    next_hop: Optional[int]
+    local_pref: int = DEFAULT_LOCAL_PREF
+    learned_at: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.next_hop is None and not self.path.is_empty:
+            raise ValueError("a non-local route must name its next hop")
+        if self.next_hop is not None and self.path.head != self.next_hop:
+            raise ValueError(
+                f"stored path {self.path!r} must start at next hop {self.next_hop}"
+            )
+
+    @property
+    def is_local(self) -> bool:
+        """True for a locally-originated route."""
+        return self.next_hop is None
+
+    @property
+    def hop_count(self) -> int:
+        """AS hops to the destination (0 for a local route)."""
+        return len(self.path)
+
+    def advertised_by(self, asn: int) -> AsPath:
+        """The path this route would carry when ``asn`` re-advertises it."""
+        return self.path.prepend(asn)
+
+    def __repr__(self) -> str:
+        origin = "local" if self.is_local else f"via {self.next_hop}"
+        return f"Route[{self.prefix} {self.path!r} {origin} lp={self.local_pref}]"
+
+
+def local_route(prefix: Prefix, learned_at: float = 0.0) -> Route:
+    """The route a speaker installs when it originates ``prefix``."""
+    return Route(
+        prefix=prefix,
+        path=AsPath.empty(),
+        next_hop=LOCAL_NEXT_HOP,
+        learned_at=learned_at,
+    )

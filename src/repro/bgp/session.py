@@ -1,0 +1,150 @@
+"""The BGP session layer: keepalives and hold timers.
+
+The paper's failure model is interface-level: the nodes adjacent to a
+failed link react instantly.  Real BGP also has a slower detection path —
+a *silent* failure (one that the interface does not report) is noticed only
+when no message arrives from the peer for a full hold time (keepalives are
+sent at a third of it, per RFC 1771's recommended ratio).
+
+:class:`SessionManager` implements exactly that per-neighbor machinery for
+a speaker: an inbound hold timer reset by every received message, and an
+outbound keepalive schedule.  Detection latency becomes a first-class
+experimental variable — the ``bench_detection`` benchmark measures how the
+hold time stretches routing inconsistency and therefore transient looping.
+
+Scope notes:
+
+* Session *establishment* is implicit (adjacent speakers are configured
+  peers, as in the paper); there is no OPEN handshake.  After a hold-timer
+  expiry the session stays down until the network layer reports the link
+  up again.
+* Session mode keeps keepalive timers armed indefinitely, so it is meant
+  for horizon-driven simulations (``scheduler.run(until=...)``), not the
+  run-to-quiescence experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+from ..engine import Scheduler, Timer
+from ..errors import ConfigError
+
+SendKeepalive = Callable[[int], None]
+SessionDown = Callable[[int], None]
+
+
+class SessionManager:
+    """Per-neighbor hold/keepalive timers for one speaker.
+
+    Parameters
+    ----------
+    scheduler:
+        The simulation scheduler.
+    hold_time:
+        Seconds of silence after which a peer is declared dead.
+    keepalive_interval:
+        Spacing of outbound keepalives (must be < hold_time; RFC suggests
+        a third).
+    send_keepalive:
+        ``callback(neighbor)`` that transmits a keepalive (the speaker
+        guards physical link state).
+    on_session_down:
+        ``callback(neighbor)`` invoked when the hold timer expires; the
+        speaker purges the neighbor's routes exactly as for a link-down.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        hold_time: float,
+        keepalive_interval: float,
+        send_keepalive: SendKeepalive,
+        on_session_down: SessionDown,
+    ) -> None:
+        if hold_time <= 0:
+            raise ConfigError(f"hold_time must be positive, got {hold_time}")
+        if not 0 < keepalive_interval < hold_time:
+            raise ConfigError(
+                f"keepalive_interval must be in (0, hold_time), got "
+                f"{keepalive_interval} vs {hold_time}"
+            )
+        self._scheduler = scheduler
+        self._hold_time = hold_time
+        self._keepalive_interval = keepalive_interval
+        self._send_keepalive = send_keepalive
+        self._on_session_down = on_session_down
+        self._hold_timers: Dict[int, Timer] = {}
+        self._keepalive_timers: Dict[int, Timer] = {}
+        self._established: Set[int] = set()
+        self.sessions_lost = 0
+
+    # ------------------------------------------------------------------
+
+    def established(self, neighbor: int) -> bool:
+        """True while the session to ``neighbor`` is considered alive."""
+        return neighbor in self._established
+
+    @property
+    def established_count(self) -> int:
+        return len(self._established)
+
+    # ------------------------------------------------------------------
+
+    def establish(self, neighbor: int) -> None:
+        """Bring the session up and start both timers (idempotent)."""
+        if neighbor in self._established:
+            return
+        self._established.add(neighbor)
+        hold = self._hold_timers.get(neighbor)
+        if hold is None:
+            hold = Timer(
+                self._scheduler,
+                callback=lambda n=neighbor: self._hold_expired(n),
+                name=f"hold:{neighbor}",
+            )
+            self._hold_timers[neighbor] = hold
+        hold.restart(self._hold_time)
+
+        keepalive = self._keepalive_timers.get(neighbor)
+        if keepalive is None:
+            keepalive = Timer(
+                self._scheduler,
+                callback=lambda n=neighbor: self._keepalive_due(n),
+                name=f"keepalive:{neighbor}",
+            )
+            self._keepalive_timers[neighbor] = keepalive
+        keepalive.restart(self._keepalive_interval)
+
+    def message_received(self, neighbor: int) -> None:
+        """Any message from the peer proves liveness: refresh its hold."""
+        if neighbor in self._established:
+            self._hold_timers[neighbor].restart(self._hold_time)
+
+    def teardown(self, neighbor: int) -> None:
+        """Stop tracking the peer (link-down notification or hold expiry)."""
+        self._established.discard(neighbor)
+        hold = self._hold_timers.get(neighbor)
+        if hold is not None:
+            hold.cancel()
+        keepalive = self._keepalive_timers.get(neighbor)
+        if keepalive is not None:
+            keepalive.cancel()
+
+    def teardown_all(self) -> None:
+        """Cancel every timer (end of a manually-driven simulation)."""
+        for neighbor in list(self._established):
+            self.teardown(neighbor)
+
+    # ------------------------------------------------------------------
+
+    def _hold_expired(self, neighbor: int) -> None:
+        self.sessions_lost += 1
+        self.teardown(neighbor)
+        self._on_session_down(neighbor)
+
+    def _keepalive_due(self, neighbor: int) -> None:
+        if neighbor not in self._established:
+            return
+        self._send_keepalive(neighbor)
+        self._keepalive_timers[neighbor].restart(self._keepalive_interval)

@@ -1,0 +1,478 @@
+"""The BGP speaker: one path-vector router.
+
+This is the protocol engine whose transient behavior the paper studies.  It
+implements, per §3:
+
+* full-path announcements with **path-based poison reverse** on receipt
+  (a path containing the receiver is discarded — treated as an implicit
+  withdrawal of the sender's previous route),
+* storage of "the most recent paths received from each of its neighbors"
+  (Adj-RIB-In) and **path exploration**: on losing the best route, fall back
+  to the best stored alternate before resorting to an explicit withdrawal,
+* the per-(destination, neighbor) **MRAI timer** with jitter, applied to
+  announcements only (unless WRATE),
+* duplicate suppression: a route is advertised once and re-advertised only
+  on change (tracked via the Adj-RIB-Out),
+* the four §5 enhancements, enabled by :class:`~repro.bgp.config.BgpConfig`
+  flags, with their decision logic in :mod:`repro.bgp.variants`.
+
+The speaker maintains a one-prefix-deep FIB (``prefix -> next hop``); every
+FIB change is reported to an optional listener, which is how the data plane
+reconstructs the forwarding graph over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional, Set
+
+from ..engine import RandomStreams, Scheduler
+from ..errors import ProtocolError
+from ..net import Node
+from .config import BgpConfig
+from .damping import RouteFlapDamper
+from .decision import DecisionProcess
+from .messages import Announcement, Keepalive, Prefix, Withdrawal
+from .mrai import MraiManager
+from .session import SessionManager
+from .path import AsPath
+from .policy import RoutingPolicy, ShortestPathPolicy
+from .rib import AdjRibIn, AdjRibOut, LocRib
+from .route import Route
+from .variants import (
+    converts_to_withdrawal,
+    should_flush,
+    stale_entries,
+    withdrawals_rate_limited,
+)
+
+FibListener = Callable[[float, int, Prefix, Optional[int]], None]
+"""``listener(time, node, prefix, next_hop)``; ``next_hop is None`` = no route,
+``next_hop == node`` = local delivery."""
+
+RouteListener = Callable[
+    [float, int, Prefix, Optional[AsPath], Optional[AsPath]], None
+]
+"""``listener(time, node, prefix, old_path, new_path)`` fired on every best-
+path change; paths are in the paper's notation (the node itself at the
+head), ``None`` meaning no route.  This is the "route change trace" §6
+proposes examining."""
+
+
+class BgpSpeaker(Node):
+    """A router speaking the (possibly enhanced) path-vector protocol.
+
+    Parameters
+    ----------
+    node_id, scheduler:
+        Identity and the shared simulation scheduler.
+    config:
+        Protocol variant and timing knobs.
+    streams:
+        The run's named RNG streams (jitter and processing-delay draws are
+        taken from per-node streams, keeping runs reproducible).
+    policy:
+        Routing policy; defaults to the paper's shortest-path policy.
+    fib_listener:
+        Optional callback invoked on every next-hop change.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        scheduler: Scheduler,
+        config: BgpConfig,
+        streams: RandomStreams,
+        policy: Optional[RoutingPolicy] = None,
+        fib_listener: Optional[FibListener] = None,
+        route_listener: Optional[RouteListener] = None,
+    ) -> None:
+        proc_rng = streams.stream(f"processing-delay:{node_id}")
+        low, high = config.processing_delay
+
+        def service_time() -> float:
+            return proc_rng.uniform(low, high)
+
+        super().__init__(node_id, scheduler, service_time)
+        self.config = config
+        self.policy = policy or ShortestPathPolicy()
+        self.decision = DecisionProcess(self.policy)
+        self.adj_rib_in = AdjRibIn()
+        self.loc_rib = LocRib()
+        self.adj_rib_out = AdjRibOut()
+        self.mrai = MraiManager(
+            scheduler,
+            interval=config.mrai,
+            jitter=config.mrai_jitter,
+            rng=streams.stream(f"mrai-jitter:{node_id}"),
+            on_expiry=self._on_mrai_expiry,
+        )
+        self.damper: Optional[RouteFlapDamper] = None
+        if config.damping is not None:
+            self.damper = RouteFlapDamper(
+                scheduler, config.damping, on_reuse=self._damping_reuse
+            )
+        self.sessions: Optional[SessionManager] = None
+        if config.sessions_enabled:
+            self.sessions = SessionManager(
+                scheduler,
+                hold_time=config.hold_time,
+                keepalive_interval=config.effective_keepalive,
+                send_keepalive=self._send_keepalive_to,
+                on_session_down=self._purge_neighbor,
+            )
+        self._origins: Set[Prefix] = set()
+        self.fib: Dict[Prefix, Optional[int]] = {}
+        self._fib_listener = fib_listener
+        self._route_listener = route_listener
+        # Counters (diagnostics; the authoritative metric source is the
+        # network-level MessageTrace).
+        self.announcements_sent = 0
+        self.withdrawals_sent = 0
+        self.routes_discarded_by_poison_reverse = 0
+        self.routes_removed_by_assertion = 0
+        self.flush_withdrawals_sent = 0
+        self.ssld_conversions = 0
+
+    # ------------------------------------------------------------------
+    # Public protocol API
+    # ------------------------------------------------------------------
+
+    @property
+    def origins(self) -> Set[Prefix]:
+        """Prefixes this speaker currently originates (copy)."""
+        return set(self._origins)
+
+    def originate(self, prefix: Prefix) -> None:
+        """Start originating ``prefix`` (the destination AS's role)."""
+        if prefix in self._origins:
+            return
+        self._origins.add(prefix)
+        self._run_decision(prefix)
+
+    def withdraw_origin(self, prefix: Prefix) -> None:
+        """Stop originating ``prefix`` — the Tdown trigger.
+
+        The destination host behind this AS is gone; the speaker re-runs its
+        decision (finding nothing, since every peer-learned path for its own
+        prefix is poison-reversed away) and withdraws from all peers.
+        """
+        if prefix not in self._origins:
+            raise ProtocolError(f"node {self.node_id} does not originate {prefix!r}")
+        self._origins.discard(prefix)
+        self._run_decision(prefix)
+
+    def start(self) -> None:
+        """Bring up sessions and advertise pre-configured originations."""
+        if self.sessions is not None:
+            for peer in self.neighbors:
+                self.sessions.establish(peer)
+        for prefix in sorted(self._origins):
+            self._run_decision(prefix)
+            for peer in self.neighbors:
+                self._sync_peer(peer, prefix)
+
+    def best_route(self, prefix: Prefix) -> Optional[Route]:
+        """The current Loc-RIB entry for ``prefix``."""
+        return self.loc_rib.get(prefix)
+
+    def next_hop(self, prefix: Prefix) -> Optional[int]:
+        """Current forwarding next hop (own id = deliver locally)."""
+        return self.fib.get(prefix)
+
+    def full_path(self, prefix: Prefix) -> Optional[AsPath]:
+        """The node's path in the paper's notation: itself at the head."""
+        best = self.loc_rib.get(prefix)
+        if best is None:
+            return None
+        return best.path.prepend(self.node_id)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def handle_message(self, src: int, message) -> None:
+        """Process one message after its CPU service delay.
+
+        With sessions enabled, liveness/staleness is judged by *session*
+        state (a silent link failure is invisible until the hold timer
+        fires); without them, by physical link state — the paper's
+        interface-detection model.
+        """
+        if self.sessions is not None:
+            if not self.sessions.established(src):
+                return  # stale delivery from a torn-down session
+            self.sessions.message_received(src)
+            if isinstance(message, Keepalive):
+                return
+        elif not self.link_is_up(src):
+            return  # stale delivery from an adjacency that has since died
+        if isinstance(message, Announcement):
+            self._handle_announcement(src, message)
+        elif isinstance(message, Withdrawal):
+            self._handle_withdrawal(src, message)
+        else:
+            raise ProtocolError(f"unexpected message {message!r} from {src}")
+
+    def _handle_announcement(self, src: int, message: Announcement) -> None:
+        if message.sender != src:
+            raise ProtocolError(
+                f"announcement head {message.sender} does not match sender {src}"
+            )
+        prefix, path = message.prefix, message.path
+        if self.config.assertion:
+            self._apply_assertion(prefix, src, path)
+        if self.damper is not None:
+            previous = self.adj_rib_in.get(src, prefix)
+            if self.node_id in path:
+                if previous is not None:
+                    self.damper.record_withdrawal(src, prefix)
+            elif previous is not None and previous.path != path:
+                self.damper.record_change(src, prefix)
+
+        if self.node_id in path:
+            # Path-based poison reverse: the route is unusable for us, and it
+            # *replaces* src's previous announcement (implicit withdrawal).
+            self.routes_discarded_by_poison_reverse += 1
+            self.adj_rib_in.remove(src, prefix)
+        else:
+            provisional = Route(
+                prefix=prefix,
+                path=path,
+                next_hop=src,
+                learned_at=self.scheduler.now,
+            )
+            route = replace(
+                provisional, local_pref=self.policy.local_pref(src, provisional)
+            )
+            if self.policy.accept_import(src, route):
+                self.adj_rib_in.put(src, route)
+            else:
+                self.adj_rib_in.remove(src, prefix)
+        self._run_decision(prefix)
+
+    def _handle_withdrawal(self, src: int, message: Withdrawal) -> None:
+        prefix = message.prefix
+        if self.config.assertion:
+            self._apply_assertion(prefix, src, None)
+        if self.damper is not None and self.adj_rib_in.get(src, prefix) is not None:
+            self.damper.record_withdrawal(src, prefix)
+        self.adj_rib_in.remove(src, prefix)
+        self._run_decision(prefix)
+
+    def _apply_assertion(
+        self, prefix: Prefix, src: int, new_path: Optional[AsPath]
+    ) -> None:
+        """Invalidate stored routes the update from ``src`` proves stale."""
+        for neighbor in stale_entries(self.adj_rib_in, prefix, src, new_path):
+            self.adj_rib_in.remove(neighbor, prefix)
+            self.routes_removed_by_assertion += 1
+
+    # ------------------------------------------------------------------
+    # Adjacency changes
+    # ------------------------------------------------------------------
+
+    def on_link_down(self, neighbor: int) -> None:
+        """Interface reported the adjacency down: purge immediately."""
+        if self.sessions is not None:
+            self.sessions.teardown(neighbor)
+        self._purge_neighbor(neighbor)
+
+    def _purge_neighbor(self, neighbor: int) -> None:
+        """Forget everything learned from / sent to a dead peer, re-decide.
+
+        Shared by interface-level detection (:meth:`on_link_down`) and
+        hold-timer expiry (session mode).
+        """
+        affected = self.adj_rib_in.drop_neighbor(neighbor)
+        self.adj_rib_out.drop_neighbor(neighbor)
+        self.mrai.cancel_peer(neighbor)
+        if self.damper is not None:
+            self.damper.cancel_peer(neighbor)
+        for prefix in affected:
+            self._run_decision(prefix)
+
+    def on_link_up(self, neighbor: int) -> None:
+        """Adjacency (re-)established: bring the session up, advertise."""
+        if self.sessions is not None:
+            self.sessions.establish(neighbor)
+        for prefix in self.loc_rib.prefixes():
+            self._sync_peer(neighbor, prefix)
+
+    def _send_keepalive_to(self, peer: int) -> None:
+        """Session-layer callback; guards the physical link state."""
+        if self.link_is_up(peer):
+            self.send(peer, Keepalive())
+
+    # ------------------------------------------------------------------
+    # Decision + dissemination
+    # ------------------------------------------------------------------
+
+    def _select_best(self, prefix: Prefix) -> Optional[Route]:
+        """The decision-process optimum, honoring damping suppression."""
+        usable = None
+        if self.damper is not None:
+            damper = self.damper
+
+            def usable(route: Route) -> bool:
+                assert route.next_hop is not None
+                return not damper.is_suppressed(route.next_hop, prefix)
+
+        return self.decision.select(
+            prefix,
+            self.adj_rib_in,
+            originated=prefix in self._origins,
+            usable=usable,
+        )
+
+    def _damping_reuse(self, peer: int, prefix: Prefix) -> None:
+        """A suppressed (peer, prefix) decayed below reuse: reconsider it."""
+        self._run_decision(prefix)
+
+    def _run_decision(self, prefix: Prefix) -> None:
+        """Re-select the best route; on change, update FIB and sync peers."""
+        old_best = self.loc_rib.get(prefix)
+        new_best = self._select_best(prefix)
+        if new_best == old_best:
+            return
+        if new_best is None:
+            self.loc_rib.remove(prefix)
+        else:
+            self.loc_rib.set(new_best)
+        if self._route_listener is not None:
+            self._route_listener(
+                self.scheduler.now,
+                self.node_id,
+                prefix,
+                self._node_path(old_best),
+                self._node_path(new_best),
+            )
+        self._update_fib(prefix, new_best)
+        for peer in self.neighbors:
+            self._sync_peer(peer, prefix)
+
+    def _node_path(self, route: Optional[Route]) -> Optional[AsPath]:
+        """A route's path in the paper's notation (self at the head)."""
+        if route is None:
+            return None
+        return route.path.prepend(self.node_id)
+
+    def _update_fib(self, prefix: Prefix, best: Optional[Route]) -> None:
+        if best is None:
+            next_hop: Optional[int] = None
+        elif best.is_local:
+            next_hop = self.node_id
+        else:
+            next_hop = best.next_hop
+        if self.fib.get(prefix, None) == next_hop and prefix in self.fib:
+            return
+        had_entry = prefix in self.fib
+        if not had_entry and next_hop is None:
+            return  # never had a route and still none: nothing changed
+        self.fib[prefix] = next_hop
+        if self._fib_listener is not None:
+            self._fib_listener(self.scheduler.now, self.node_id, prefix, next_hop)
+
+    def _sync_peer(self, peer: int, prefix: Prefix) -> None:
+        """Bring ``peer``'s view of ``prefix`` in line with our Loc-RIB.
+
+        All rate-limiting, duplicate-suppression, and enhancement behavior
+        funnels through here; MRAI expiry re-enters via the same method, so
+        held updates always reflect the *latest* state.
+        """
+        desired = self._desired_advertisement(peer, prefix)
+        last = self.adj_rib_out.last_sent(peer, prefix)
+        if desired == last.path:
+            return
+
+        if desired is None:
+            held = withdrawals_rate_limited(self.config) and self.mrai.holding(
+                peer, prefix
+            )
+            if held:
+                return  # WRATE: the expiry callback will re-derive and send
+            self._send_withdrawal(peer, prefix)
+            if withdrawals_rate_limited(self.config):
+                self.mrai.mark_sent(peer, prefix)
+            return
+
+        if self.mrai.can_send_now(peer, prefix):
+            self._send_announcement(peer, prefix, desired)
+            self.mrai.mark_sent(peer, prefix)
+            return
+
+        # Announcement held by MRAI.
+        if self.config.ghost_flushing and should_flush(last, desired):
+            self._send_withdrawal(peer, prefix)
+            self.flush_withdrawals_sent += 1
+        # Otherwise: wait silently; expiry re-syncs from current state.
+
+    def _desired_advertisement(self, peer: int, prefix: Prefix) -> Optional[AsPath]:
+        """The path ``peer`` should hold from us right now (None = nothing)."""
+        best = self.loc_rib.get(prefix)
+        if best is None or not self.policy.accept_export(peer, best):
+            return None
+        advertised = best.advertised_by(self.node_id)
+        if self.config.ssld and converts_to_withdrawal(peer, advertised):
+            # SSLD: the peer would poison-reverse this path away; send the
+            # equivalent information as an (immediate) withdrawal instead.
+            self.ssld_conversions += 1
+            return None
+        return advertised
+
+    def _send_announcement(self, peer: int, prefix: Prefix, path: AsPath) -> None:
+        self.send(peer, Announcement(prefix=prefix, path=path))
+        self.adj_rib_out.record_announcement(peer, prefix, path)
+        self.announcements_sent += 1
+
+    def _send_withdrawal(self, peer: int, prefix: Prefix) -> None:
+        self.send(peer, Withdrawal(prefix=prefix))
+        self.adj_rib_out.record_withdrawal(peer, prefix)
+        self.withdrawals_sent += 1
+
+    def _on_mrai_expiry(self, peer: int, prefix: Prefix) -> None:
+        if not self.link_is_up(peer):
+            return
+        self._sync_peer(peer, prefix)
+
+    # ------------------------------------------------------------------
+    # Invariants (exercised by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`ProtocolError` if any RIB/FIB invariant is violated."""
+        for neighbor, route in self.adj_rib_in.entries():
+            if self.node_id in route.path:
+                raise ProtocolError(
+                    f"node {self.node_id} stored a looping path {route.path!r} "
+                    f"from {neighbor}"
+                )
+            if route.next_hop != neighbor:
+                raise ProtocolError(
+                    f"adj-rib-in[{neighbor}] holds route with next hop "
+                    f"{route.next_hop}"
+                )
+        prefixes = set(self.loc_rib.prefixes()) | self._origins
+        for _neighbor, route in self.adj_rib_in.entries():
+            prefixes.add(route.prefix)
+        for prefix in prefixes:
+            expected = self._select_best(prefix)
+            actual = self.loc_rib.get(prefix)
+            if expected != actual:
+                raise ProtocolError(
+                    f"node {self.node_id} loc-rib for {prefix!r} is {actual!r}, "
+                    f"decision process says {expected!r}"
+                )
+            fib_hop = self.fib.get(prefix)
+            if expected is None and fib_hop is not None:
+                raise ProtocolError(
+                    f"node {self.node_id} FIB has {fib_hop} for unreachable "
+                    f"{prefix!r}"
+                )
+            if expected is not None:
+                want = self.node_id if expected.is_local else expected.next_hop
+                if fib_hop != want:
+                    raise ProtocolError(
+                        f"node {self.node_id} FIB hop {fib_hop} != best-route "
+                        f"hop {want} for {prefix!r}"
+                    )

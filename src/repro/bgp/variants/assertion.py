@@ -1,0 +1,60 @@
+"""The Assertion approach [Pei et al., INFOCOM 2002].
+
+"When node v receives a path path(u, new) from neighbor u, v removes any
+backup paths that include u and contain a sub-path different from
+path(u, new)" (paper §5).  A withdrawal from u is the degenerate case: u has
+no path, so *every* stored path through u is obsolete.
+
+Removing provably-stale Adj-RIB-In entries shrinks the pool of obsolete
+backup paths that path exploration would otherwise walk through, which both
+speeds convergence and reduces transient loops.  Its effectiveness depends on
+topology: in a clique every node neighbors the origin, so a single
+withdrawal asserts away all backups at once; in Internet-like graphs the
+origin is further away and fewer stored paths mention the updating neighbor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..messages import Prefix
+from ..path import AsPath
+from ..rib import AdjRibIn
+
+
+def stale_entries(
+    adj_rib_in: AdjRibIn,
+    prefix: Prefix,
+    updating_neighbor: int,
+    new_path: Optional[AsPath],
+) -> List[int]:
+    """Neighbors whose stored route for ``prefix`` the assertion invalidates.
+
+    Parameters
+    ----------
+    adj_rib_in:
+        The receiving node's Adj-RIB-In.
+    prefix:
+        The destination the update is about.
+    updating_neighbor:
+        The neighbor *u* whose announcement/withdrawal was just received.
+    new_path:
+        *u*'s newly-announced path **as received** (u's AS at the head), or
+        ``None`` for a withdrawal.
+
+    Returns the neighbor ids (excluding *u* itself) whose stored routes
+    mention *u* with a sub-path from *u* inconsistent with ``new_path``.
+    The caller removes those entries and re-runs its decision process.
+    """
+    stale: List[int] = []
+    for neighbor in adj_rib_in.neighbors_with(prefix):
+        if neighbor == updating_neighbor:
+            continue
+        route = adj_rib_in.get(neighbor, prefix)
+        assert route is not None
+        suffix = route.path.suffix_from(updating_neighbor)
+        if suffix is None:
+            continue  # path does not go through u; assertion says nothing
+        if new_path is None or suffix != new_path:
+            stale.append(neighbor)
+    return stale

@@ -1,0 +1,27 @@
+"""Sender-Side Loop Detection (SSLD) [Labovitz et al., Sigcomm 2000].
+
+"Before sending a path, a node checks whether the receiver is present in the
+path; if so, the sender knows the path will be discarded by the receiver.
+Instead of sending this path (which is subject to MRAI timer delay), [it]
+will send a withdrawal message (which is not limited by the MRAI timer)."
+
+The effect (paper §5): the poison-reverse information arrives without MRAI
+delay, which resolves 2-node loops at processing/propagation speed — but for
+loops of three or more nodes SSLD only applies when the receiver already
+appears in the sender's new path, so its overall improvement is modest.
+"""
+
+from __future__ import annotations
+
+from ..path import AsPath
+
+
+def converts_to_withdrawal(receiver: int, advertised_path: AsPath) -> bool:
+    """True when SSLD should replace this announcement with a withdrawal.
+
+    ``advertised_path`` is the path as it would be sent (sender's AS at the
+    head).  If the receiver appears anywhere in it, the receiver's
+    path-based poison reverse would discard it — so the sender transmits the
+    equivalent information as an immediate withdrawal instead.
+    """
+    return receiver in advertised_path

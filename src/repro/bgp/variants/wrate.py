@@ -1,0 +1,25 @@
+"""Withdrawal Rate Limiting (WRATE) [Labovitz et al. / Griffin & Premore].
+
+Standard RFC 1771 BGP exempts withdrawals from the MRAI timer; WRATE applies
+the timer to withdrawals as well, and was adopted as standard behavior by the
+post-1771 specification drafts.
+
+The paper's finding (§5, Observation 3): WRATE "hopes" to reduce loops by
+propagating withdrawals and announcements at the same speed, but "can delay a
+withdrawal that could have resolved a loop, thus lengthening the looping
+duration" — on Internet-derived topologies it makes Tlong packet looping an
+order of magnitude worse than standard BGP.
+
+There is no algorithm here beyond the predicate below: the speaker routes
+withdrawal sends through the same hold-and-release path as announcements
+whenever it returns True.
+"""
+
+from __future__ import annotations
+
+from ..config import BgpConfig
+
+
+def withdrawals_rate_limited(config: BgpConfig) -> bool:
+    """True when withdrawals must respect the MRAI timer."""
+    return config.wrate

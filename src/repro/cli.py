@@ -1,0 +1,298 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro run       # one experiment: topology + event + variant -> metrics
+    repro figure    # regenerate one paper figure as an ASCII table
+    repro topology  # generate a topology and dump it as an edge list
+    repro list      # available figures, variants, topology kinds
+
+Also reachable as ``python -m repro``.  Every command is deterministic for
+a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import __version__
+from .bgp import VARIANT_NAMES, variant
+from .core import LoopStatistics
+from .errors import ReproError
+from .experiments import (
+    RunSettings,
+    custom_tdown,
+    run_experiment,
+    tdown_clique,
+    tdown_internet,
+    tlong_bclique,
+    tlong_internet,
+)
+from .experiments.figures import (
+    figure4a,
+    figure4b,
+    figure4c,
+    figure5a,
+    figure5b,
+    figure6a,
+    figure6b,
+    figure6c,
+    figure7a,
+    figure7b,
+    figure8a,
+    figure8b,
+    figure8c,
+    figure8d,
+    figure9a,
+    figure9b,
+    figure9c,
+    figure9d,
+    theory_bound_figure,
+)
+from .topology import (
+    b_clique,
+    clique,
+    dumps_edge_list,
+    internet_like,
+    named_generator,
+)
+
+FIGURES: Dict[str, Callable] = {
+    "fig4a": figure4a,
+    "fig4b": figure4b,
+    "fig4c": figure4c,
+    "fig5a": figure5a,
+    "fig5b": figure5b,
+    "fig6a": figure6a,
+    "fig6b": figure6b,
+    "fig6c": figure6c,
+    "fig7a": figure7a,
+    "fig7b": figure7b,
+    "fig8a": figure8a,
+    "fig8b": figure8b,
+    "fig8c": figure8c,
+    "fig8d": figure8d,
+    "fig9a": figure9a,
+    "fig9b": figure9b,
+    "fig9c": figure9c,
+    "fig9d": figure9d,
+    "theory": theory_bound_figure,
+}
+
+#: Fast parameters for ``repro figure --quick`` (small sizes, short MRAI).
+QUICK_FIGURE_KWARGS: Dict[str, dict] = {
+    "fig4a": dict(sizes=(3, 4, 5), mrai=2.0),
+    "fig4b": dict(sizes=(3, 4), mrai=2.0),
+    "fig4c": dict(sizes=(12, 16), mrai=2.0, seeds=(0,)),
+    "fig5a": dict(mrai_values=(1.0, 2.0, 3.0), clique_size=4),
+    "fig5b": dict(mrai_values=(1.0, 2.0, 3.0), bclique_size=4),
+    "fig6a": dict(sizes=(3, 4, 5), mrai=2.0),
+    "fig6b": dict(sizes=(3, 4), mrai=2.0),
+    "fig6c": dict(sizes=(12, 16), mrai=2.0, seeds=(0,)),
+    "fig7a": dict(mrai_values=(1.0, 2.0, 3.0), clique_size=4),
+    "fig7b": dict(mrai_values=(1.0, 2.0, 3.0), bclique_size=4),
+    "fig8a": dict(sizes=(3, 4), mrai=2.0),
+    "fig8b": dict(sizes=(3, 4), mrai=2.0),
+    "fig8c": dict(sizes=(12,), mrai=2.0, seeds=(0,)),
+    "fig8d": dict(sizes=(12,), mrai=2.0, seeds=(0,)),
+    "fig9a": dict(sizes=(3, 4), mrai=2.0),
+    "fig9b": dict(sizes=(3, 4), mrai=2.0),
+    "fig9c": dict(sizes=(12,), mrai=2.0, seeds=(0,)),
+    "fig9d": dict(sizes=(12,), mrai=2.0, seeds=(0,)),
+    "theory": dict(ring_sizes=(3, 4), mrai=2.0, seeds=(0,)),
+}
+
+TOPOLOGY_KINDS = ("clique", "b-clique", "chain", "ring", "star", "internet")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "BGP path-vector transient-loop simulator "
+            "(reproduction of Pei et al., ICDCS 2004)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one experiment and print metrics")
+    run.add_argument(
+        "--topology", choices=TOPOLOGY_KINDS, default="clique",
+        help="topology family (default: clique)",
+    )
+    run.add_argument("--size", type=int, default=10, help="topology size parameter")
+    run.add_argument(
+        "--event", choices=("tdown", "tlong"), default="tdown",
+        help="failure event (default: tdown)",
+    )
+    run.add_argument(
+        "--variant", choices=VARIANT_NAMES, default="standard",
+        help="protocol variant (default: standard)",
+    )
+    run.add_argument("--mrai", type=float, default=30.0, help="MRAI seconds")
+    run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    run.add_argument(
+        "--rate", type=float, default=10.0, help="packets/s per source AS"
+    )
+    run.add_argument(
+        "--loop-stats", action="store_true",
+        help="also print per-loop statistics (size/duration distributions)",
+    )
+    run.add_argument(
+        "--verbose", action="store_true",
+        help="full report: metrics, update churn, and individual loops",
+    )
+    run.add_argument(
+        "--damping-half-life", type=float, default=None, metavar="SECONDS",
+        help="enable RFC 2439 route-flap damping with this half-life",
+    )
+
+    figure = commands.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("id", choices=sorted(FIGURES), help="figure identifier")
+    figure.add_argument(
+        "--quick", action="store_true",
+        help="tiny sizes and short MRAI (seconds instead of minutes)",
+    )
+    figure.add_argument(
+        "--plot", action="store_true", help="also draw an ASCII chart"
+    )
+
+    topo = commands.add_parser("topology", help="generate and print a topology")
+    topo.add_argument("--kind", choices=TOPOLOGY_KINDS, default="internet")
+    topo.add_argument("--size", type=int, default=29)
+    topo.add_argument("--seed", type=int, default=0, help="seed (internet only)")
+
+    commands.add_parser("list", help="show available figures and variants")
+    return parser
+
+
+def _make_scenario(args):
+    if args.event == "tdown":
+        if args.topology == "clique":
+            return tdown_clique(args.size)
+        if args.topology == "internet":
+            return tdown_internet(args.size, seed=args.seed)
+        generator = named_generator(args.topology)
+        return custom_tdown(generator(args.size), destination=0)
+    # tlong
+    if args.topology == "b-clique":
+        return tlong_bclique(args.size)
+    if args.topology == "internet":
+        return tlong_internet(args.size, seed=args.seed)
+    raise ReproError(
+        f"tlong is defined for b-clique and internet topologies, "
+        f"not {args.topology!r}"
+    )
+
+
+def _cmd_run(args) -> int:
+    scenario = _make_scenario(args)
+    config = variant(args.variant, mrai=args.mrai)
+    if args.damping_half_life is not None:
+        from dataclasses import replace
+
+        from .bgp import DampingConfig
+
+        config = replace(
+            config,
+            damping=DampingConfig(
+                half_life=args.damping_half_life,
+                max_suppress_time=5 * args.damping_half_life,
+            ),
+        )
+    settings = RunSettings(packet_rate=args.rate)
+    print(
+        f"running {scenario.name} / {config.variant_name} / MRAI {args.mrai}s "
+        f"/ seed {args.seed}"
+    )
+    run = run_experiment(
+        scenario,
+        config,
+        settings=settings,
+        seed=args.seed,
+        keep_network=args.verbose,
+    )
+    if args.verbose:
+        from .experiments.report import describe_run
+
+        print()
+        print(describe_run(run))
+        return 0
+    result = run.result
+    print(f"  convergence time        : {result.convergence_time:10.2f} s")
+    print(f"  overall looping duration: {result.overall_looping_duration:10.2f} s")
+    print(f"  TTL exhaustions         : {result.ttl_exhaustions:10d}")
+    print(f"  packets sent            : {result.packets_sent:10d}")
+    print(f"  looping ratio           : {result.looping_ratio:10.1%}")
+    print(f"  updates sent            : {result.convergence.update_count:10d}")
+    if args.loop_stats:
+        stats = LoopStatistics.from_intervals(
+            result.loop_intervals, failure_time=run.failure_time
+        )
+        print()
+        for line in stats.describe().splitlines():
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    driver = FIGURES[args.id]
+    kwargs = QUICK_FIGURE_KWARGS[args.id] if args.quick else {}
+    figure = driver(**kwargs)
+    print(figure.render())
+    if args.plot:
+        print()
+        print(figure.plot())
+    failures = figure.check_failures()
+    if failures:
+        print("\nshape checks NOT satisfied at these parameters:")
+        for check in failures:
+            print(f"  {check}")
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    if args.kind == "internet":
+        topo = internet_like(args.size, seed=args.seed)
+    elif args.kind == "clique":
+        topo = clique(args.size)
+    elif args.kind == "b-clique":
+        topo = b_clique(args.size)
+    else:
+        topo = named_generator(args.kind)(args.size)
+    sys.stdout.write(dumps_edge_list(topo))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("figures :", " ".join(sorted(FIGURES)))
+    print("variants:", " ".join(VARIANT_NAMES))
+    print("topology:", " ".join(TOPOLOGY_KINDS))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "topology": _cmd_topology,
+        "list": _cmd_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into e.g. `head` that exited early; not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""The study's four metrics, combined into one result record.
+
+§4.2 defines: **Overall Looping Duration** (first to last TTL exhaustion),
+**Convergence Time** (failure to last update sent), **Number of TTL
+Exhaustions**, and **Looping Ratio** (exhaustions / packets sent during
+convergence).  :class:`LoopStudyResult` carries all four plus the supporting
+detail, and is what every experiment runner returns and every figure driver
+aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..dataplane import DataPlaneReport
+from .convergence import ConvergenceReport
+from .loop_detector import LoopInterval
+
+
+@dataclass(frozen=True)
+class LoopStudyResult:
+    """Everything one simulation run tells us about transient looping."""
+
+    convergence: ConvergenceReport
+    dataplane: DataPlaneReport
+    loop_intervals: List[LoopInterval] = field(default_factory=list)
+    total_messages: int = 0
+
+    # ------------------------------------------------------------------
+    # The §4.2 metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def convergence_time(self) -> float:
+        return self.convergence.convergence_time
+
+    @property
+    def overall_looping_duration(self) -> float:
+        return self.dataplane.overall_looping_duration
+
+    @property
+    def ttl_exhaustions(self) -> int:
+        return self.dataplane.ttl_exhaustions
+
+    @property
+    def looping_ratio(self) -> float:
+        return self.dataplane.looping_ratio
+
+    # ------------------------------------------------------------------
+    # Supporting views
+    # ------------------------------------------------------------------
+
+    @property
+    def packets_sent(self) -> int:
+        return self.dataplane.packets_sent
+
+    @property
+    def looping_gap(self) -> float:
+        """Convergence time minus overall looping duration.
+
+        The paper reads this gap directly off Figure 4: a few seconds for
+        Tdown, 30-45 s (one MRAI round) for Tlong.
+        """
+        return self.convergence_time - self.overall_looping_duration
+
+    @property
+    def distinct_loop_count(self) -> int:
+        """Number of distinct loop lifetimes observed in the FIB history."""
+        return len(self.loop_intervals)
+
+    @property
+    def max_loop_size(self) -> int:
+        return max((i.size for i in self.loop_intervals), default=0)
+
+    @property
+    def max_loop_duration(self) -> float:
+        return max((i.duration for i in self.loop_intervals), default=0.0)
+
+    def loop_sizes(self) -> List[int]:
+        """Sizes of all observed loop lifetimes."""
+        return [i.size for i in self.loop_intervals]
+
+    def summary_row(self) -> Dict[str, float]:
+        """The metrics as a flat dict (for tables and aggregation)."""
+        return {
+            "convergence_time": self.convergence_time,
+            "looping_duration": self.overall_looping_duration,
+            "ttl_exhaustions": float(self.ttl_exhaustions),
+            "looping_ratio": self.looping_ratio,
+            "packets_sent": float(self.packets_sent),
+            "updates_sent": float(self.convergence.update_count),
+            "distinct_loops": float(self.distinct_loop_count),
+        }

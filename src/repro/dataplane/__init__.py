@@ -1,0 +1,40 @@
+"""The data plane: FIB history, traffic, and packet-fate evaluation.
+
+Two evaluation paths produce the same :class:`DataPlaneReport`:
+
+* :class:`EpochEvaluator` — fast, post-hoc, exact under the paper's
+  quasi-static parameters (use for sweeps),
+* :class:`PacketForwarder` — event-driven ground truth (use for validation
+  and small scenarios).
+"""
+
+from .epochs import DataPlaneReport, EpochEvaluator, LoopSighting
+from .fib import FibChange, FibChangeLog, ForwardingGraph
+from .packet import (
+    DEFAULT_TTL,
+    PacketFate,
+    WalkResult,
+    canonical_cycle,
+    walk,
+)
+from .traffic import DEFAULT_PACKET_RATE, CbrSource, sources_for
+from .trajectory import FibLookup, PacketForwarder
+
+__all__ = [
+    "CbrSource",
+    "DEFAULT_PACKET_RATE",
+    "DEFAULT_TTL",
+    "DataPlaneReport",
+    "EpochEvaluator",
+    "FibChange",
+    "FibChangeLog",
+    "FibLookup",
+    "ForwardingGraph",
+    "LoopSighting",
+    "PacketFate",
+    "PacketForwarder",
+    "WalkResult",
+    "canonical_cycle",
+    "sources_for",
+    "walk",
+]

@@ -1,0 +1,161 @@
+"""Forwarding state: per-node FIBs over time.
+
+The data-plane analysis needs the forwarding graph — "which node forwards to
+which" — at every instant of the convergence window.  Speakers report each
+next-hop change to a :class:`FibChangeLog`; the log can replay itself into a
+:class:`ForwardingGraph` snapshot at any time, or stream the sequence of
+*epochs* (maximal intervals over which the graph is constant).
+
+Next-hop encoding, shared with :class:`~repro.bgp.speaker.BgpSpeaker`:
+
+* ``next_hop == node``  — the node delivers locally (it is the destination),
+* ``next_hop is None`` (or absent) — no route: packets are dropped,
+* otherwise — forward to that neighbor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import AnalysisError
+
+Prefix = str
+
+
+@dataclass(frozen=True)
+class FibChange:
+    """One next-hop change at one node."""
+
+    time: float
+    node: int
+    prefix: Prefix
+    next_hop: Optional[int]
+
+
+class ForwardingGraph:
+    """A snapshot of every node's next hop for one prefix.
+
+    This is a functional graph (out-degree ≤ 1), which is what makes loop
+    analysis cheap: every walk either terminates or enters exactly one cycle.
+    """
+
+    def __init__(self, next_hops: Optional[Dict[int, Optional[int]]] = None) -> None:
+        self._next_hops: Dict[int, Optional[int]] = dict(next_hops or {})
+
+    def set_next_hop(self, node: int, next_hop: Optional[int]) -> None:
+        self._next_hops[node] = next_hop
+
+    def next_hop(self, node: int) -> Optional[int]:
+        """The node's next hop (None = no route)."""
+        return self._next_hops.get(node)
+
+    def delivers_locally(self, node: int) -> bool:
+        """True when the node is a local-delivery point for the prefix."""
+        return self._next_hops.get(node) == node
+
+    def nodes_with_route(self) -> List[int]:
+        """Nodes currently holding some forwarding entry, ascending."""
+        return sorted(n for n, nh in self._next_hops.items() if nh is not None)
+
+    def as_dict(self) -> Dict[int, Optional[int]]:
+        """A copy of the underlying mapping."""
+        return dict(self._next_hops)
+
+    def copy(self) -> "ForwardingGraph":
+        return ForwardingGraph(self._next_hops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ForwardingGraph):
+            return NotImplemented
+        return self._next_hops == other._next_hops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ForwardingGraph entries={len(self._next_hops)}>"
+
+
+class FibChangeLog:
+    """Append-only, time-ordered log of FIB changes across all nodes.
+
+    Wire a speaker's ``fib_listener`` to :meth:`record`; the experiment
+    harness does this for every node.
+    """
+
+    def __init__(self) -> None:
+        self._changes: List[FibChange] = []
+
+    def record(
+        self, time: float, node: int, prefix: Prefix, next_hop: Optional[int]
+    ) -> None:
+        """Append one change; times must be non-decreasing."""
+        if self._changes and time < self._changes[-1].time:
+            raise AnalysisError(
+                f"FIB change at t={time} recorded after t={self._changes[-1].time}"
+            )
+        self._changes.append(FibChange(time, node, prefix, next_hop))
+
+    def __len__(self) -> int:
+        return len(self._changes)
+
+    def __iter__(self) -> Iterator[FibChange]:
+        return iter(self._changes)
+
+    def changes_for(self, prefix: Prefix) -> List[FibChange]:
+        return [c for c in self._changes if c.prefix == prefix]
+
+    def change_times(self, prefix: Prefix) -> List[float]:
+        """Distinct change instants for ``prefix``, ascending."""
+        seen = sorted({c.time for c in self._changes if c.prefix == prefix})
+        return seen
+
+    def last_change_time(self, prefix: Prefix) -> Optional[float]:
+        """Time of the final FIB change for ``prefix``, or ``None``."""
+        times = self.change_times(prefix)
+        return times[-1] if times else None
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+
+    def snapshot_at(self, prefix: Prefix, time: float) -> ForwardingGraph:
+        """The forwarding graph for ``prefix`` as of ``time`` (inclusive)."""
+        graph = ForwardingGraph()
+        for change in self._changes:
+            if change.time > time:
+                break
+            if change.prefix == prefix:
+                graph.set_next_hop(change.node, change.next_hop)
+        return graph
+
+    def epochs(
+        self, prefix: Prefix, start: float, end: float
+    ) -> Iterator[Tuple[float, float, ForwardingGraph]]:
+        """Yield ``(epoch_start, epoch_end, graph)`` covering ``[start, end)``.
+
+        Each yielded graph is constant over its interval; consecutive graphs
+        differ.  The first epoch starts exactly at ``start`` with the state
+        accumulated up to (and including) ``start``.  Zero-length epochs
+        (several changes at one instant) are merged away.
+        """
+        if end < start:
+            raise AnalysisError(f"epoch window end {end} before start {start}")
+        relevant = [c for c in self._changes if c.prefix == prefix]
+        graph = ForwardingGraph()
+        index = 0
+        while index < len(relevant) and relevant[index].time <= start:
+            graph.set_next_hop(relevant[index].node, relevant[index].next_hop)
+            index += 1
+
+        cursor = start
+        while cursor < end:
+            # Absorb every change at the next change instant (if within window).
+            next_time = relevant[index].time if index < len(relevant) else None
+            if next_time is None or next_time >= end:
+                yield (cursor, end, graph.copy())
+                return
+            if next_time > cursor:
+                yield (cursor, next_time, graph.copy())
+                cursor = next_time
+            while index < len(relevant) and relevant[index].time == next_time:
+                graph.set_next_hop(relevant[index].node, relevant[index].next_hop)
+                index += 1

@@ -1,0 +1,105 @@
+"""Packets, their fates, and the static forwarding-graph walk.
+
+The simulation's loop indicator is **TTL exhaustion** (§4.2): packets start
+with TTL 128 and the TTL drops by one per AS hop; a packet that dies of TTL
+exhaustion must have been caught in a routing loop.  :func:`walk` computes a
+packet's fate against one :class:`~repro.dataplane.fib.ForwardingGraph`
+snapshot.  Because the graph is functional (one next hop per node), a walk
+that revisits any node is provably stuck in a cycle and will burn its whole
+TTL there — the walk short-circuits as soon as the revisit is seen instead of
+iterating all 128 hops.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .fib import ForwardingGraph
+
+DEFAULT_TTL = 128
+"""The paper's initial TTL value."""
+
+
+class PacketFate(enum.Enum):
+    """What ultimately happened to a packet."""
+
+    DELIVERED = "delivered"
+    DROPPED_NO_ROUTE = "dropped-no-route"
+    TTL_EXPIRED = "ttl-expired"
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """The outcome of forwarding one packet through a static graph.
+
+    Attributes
+    ----------
+    fate:
+        Terminal outcome.
+    hops:
+        AS hops actually taken (for TTL expiry this equals the TTL).
+    loop:
+        The cycle the packet entered, as a canonical node tuple (smallest
+        node first), or ``None`` when it never looped.  A packet can enter a
+        loop only by expiring in it: in a *static* functional graph there is
+        no escape from a cycle, so ``loop is not None`` iff
+        ``fate is TTL_EXPIRED``... unless the TTL dies of sheer path length
+        first, in which case ``loop`` stays ``None``.
+    """
+
+    fate: PacketFate
+    hops: int
+    loop: Optional[Tuple[int, ...]] = None
+
+    @property
+    def looped(self) -> bool:
+        return self.loop is not None
+
+
+def canonical_cycle(cycle: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Rotate a cycle so its smallest node comes first (stable identity)."""
+    if not cycle:
+        return cycle
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
+def walk(
+    graph: ForwardingGraph,
+    source: int,
+    ttl: int = DEFAULT_TTL,
+) -> WalkResult:
+    """Forward a packet from ``source`` until delivery, drop, or TTL death.
+
+    The destination is implicit in the graph: any node whose next hop is
+    itself delivers locally.  The source's own entry is consulted first; a
+    source with no route drops immediately (0 hops).
+    """
+    if ttl < 1:
+        raise ValueError(f"ttl must be >= 1, got {ttl}")
+    visited = {source: 0}
+    trail = [source]
+    node = source
+    hops = 0
+    while True:
+        if graph.delivers_locally(node):
+            return WalkResult(PacketFate.DELIVERED, hops)
+        next_hop = graph.next_hop(node)
+        if next_hop is None:
+            return WalkResult(PacketFate.DROPPED_NO_ROUTE, hops)
+        hops += 1
+        if hops > ttl:
+            # Died of path length without provably looping.
+            return WalkResult(PacketFate.TTL_EXPIRED, ttl)
+        node = next_hop
+        if node in visited:
+            # Entered a cycle; in a static graph the packet now spins until
+            # its TTL is gone.
+            cycle = tuple(trail[visited[node]:])
+            return WalkResult(
+                PacketFate.TTL_EXPIRED, ttl, loop=canonical_cycle(cycle)
+            )
+        visited[node] = len(trail)
+        trail.append(node)

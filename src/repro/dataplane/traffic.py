@@ -1,0 +1,100 @@
+"""Constant-rate traffic sources.
+
+"Every other AS has one host that sends a constant rate IP packet stream to
+the destination ... We intentionally set a slow data packet rate of 10
+packets per second to avoid congestion" (§4).  :class:`CbrSource` describes
+one such stream arithmetically — packet *k* departs at ``start + k / rate`` —
+so the epoch evaluator can count packets in an interval in O(1) instead of
+enumerating them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ConfigError
+
+DEFAULT_PACKET_RATE = 10.0
+"""Packets per second per source (the paper's setting)."""
+
+
+@dataclass(frozen=True)
+class CbrSource:
+    """One constant-bit-rate packet stream from ``node``.
+
+    ``start`` anchors the stream's phase: the k-th packet (k = 0, 1, ...)
+    departs at ``start + k / rate``, forever.
+    """
+
+    node: int
+    rate: float = DEFAULT_PACKET_RATE
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError(f"packet rate must be positive, got {self.rate}")
+
+    @property
+    def interval(self) -> float:
+        """Seconds between consecutive packets."""
+        return 1.0 / self.rate
+
+    def first_index_at_or_after(self, time: float) -> int:
+        """Smallest k whose departure time is >= ``time``."""
+        if time <= self.start:
+            return 0
+        return math.ceil((time - self.start) * self.rate - 1e-12)
+
+    def departure_time(self, index: int) -> float:
+        """Departure time of packet ``index``."""
+        if index < 0:
+            raise ConfigError(f"packet index must be >= 0, got {index}")
+        return self.start + index / self.rate
+
+    def count_in(self, t0: float, t1: float) -> int:
+        """Packets departing in ``[t0, t1)``."""
+        if t1 <= t0:
+            return 0
+        first = self.first_index_at_or_after(t0)
+        beyond = self.first_index_at_or_after(t1)
+        # [t0, t1) is half-open: a packet exactly at t1 belongs to the next
+        # interval, which first_index_at_or_after already guarantees.
+        return max(0, beyond - first)
+
+    def times_in(self, t0: float, t1: float) -> Iterator[float]:
+        """Departure times in ``[t0, t1)``, ascending.
+
+        Boundary semantics are shared with :meth:`count_in` by iterating
+        index-based between the same two ``first_index_at_or_after`` values,
+        so ``len(list(times_in(a, b))) == count_in(a, b)`` always holds.
+        """
+        if t1 <= t0:
+            return
+        first = self.first_index_at_or_after(t0)
+        beyond = self.first_index_at_or_after(t1)
+        for index in range(first, beyond):
+            yield self.departure_time(index)
+
+
+def sources_for(
+    nodes: List[int],
+    destination: int,
+    rate: float = DEFAULT_PACKET_RATE,
+    start: float = 0.0,
+    stagger: float = 0.0,
+) -> List[CbrSource]:
+    """One CBR source per non-destination node (the paper's workload).
+
+    ``stagger`` optionally offsets each source's phase by
+    ``node_index * stagger`` seconds, which avoids the artificial lockstep of
+    every AS transmitting at identical instants; the default (0) matches the
+    paper's plain setup.
+    """
+    sources = []
+    for position, node in enumerate(sorted(nodes)):
+        if node == destination:
+            continue
+        sources.append(CbrSource(node=node, rate=rate, start=start + position * stagger))
+    return sources

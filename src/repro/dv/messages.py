@@ -1,0 +1,35 @@
+"""Distance-vector protocol messages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+INFINITY_METRIC = 16
+"""RIP's unreachability metric."""
+
+
+@dataclass(frozen=True)
+class DvUpdate:
+    """One (prefix, metric) advertisement from a distance-vector speaker.
+
+    ``metric`` is the sender's hop count to the destination;
+    :data:`INFINITY_METRIC` announces unreachability (and is what poison
+    reverse sends toward the current next hop).
+    """
+
+    prefix: str
+    metric: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.metric <= INFINITY_METRIC:
+            raise ValueError(
+                f"metric must be in [0, {INFINITY_METRIC}], got {self.metric}"
+            )
+
+    @property
+    def is_unreachable(self) -> bool:
+        return self.metric >= INFINITY_METRIC
+
+    def __repr__(self) -> str:
+        reach = "unreachable" if self.is_unreachable else f"metric={self.metric}"
+        return f"DvUpdate[{self.prefix} {reach}]"

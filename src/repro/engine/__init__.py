@@ -1,0 +1,23 @@
+"""Discrete-event simulation engine.
+
+This subpackage is the in-Python replacement for the SSFNET event kernel used
+by the original study: a deterministic event heap (:class:`Scheduler`),
+restartable timers (:class:`Timer`), a single-server router-CPU model
+(:class:`SerialProcessor`), and named reproducible RNG streams
+(:class:`RandomStreams`).
+"""
+
+from .event import Event, EventPriority
+from .process import SerialProcessor
+from .rng import RandomStreams
+from .scheduler import Scheduler
+from .timers import Timer
+
+__all__ = [
+    "Event",
+    "EventPriority",
+    "RandomStreams",
+    "Scheduler",
+    "SerialProcessor",
+    "Timer",
+]

@@ -1,0 +1,82 @@
+"""Event objects for the discrete-event simulation engine.
+
+An :class:`Event` couples a firing time with a zero-argument callback.  Events
+are totally ordered by ``(time, priority, sequence)`` so that:
+
+* earlier events always fire first,
+* simultaneous events fire in ascending priority,
+* ties are broken by scheduling order (FIFO), which keeps runs deterministic
+  for a fixed seed.
+
+Events can be cancelled; a cancelled event stays in the scheduler's heap but
+is skipped when popped (lazy deletion), which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+
+class EventPriority(enum.IntEnum):
+    """Relative ordering of events that fire at exactly the same time.
+
+    The specific values only matter relative to each other.  Network message
+    deliveries happen before timer expirations at the same instant, which
+    mirrors how real routers drain input queues before servicing timers.
+    """
+
+    CONTROL = 0       # simulation control (failure injection, probes)
+    DELIVERY = 10     # message arrival at a node
+    PROCESSING = 20   # completion of a node's message-processing slot
+    TIMER = 30        # protocol timers (MRAI and friends)
+    MONITOR = 90      # observers and metric sampling run last
+
+
+class Event:
+    """A single scheduled occurrence in the simulation.
+
+    Instances are created by :class:`repro.engine.scheduler.Scheduler`; user
+    code normally only keeps the returned handle in order to ``cancel()`` it.
+    """
+
+    __slots__ = ("time", "priority", "seq", "action", "name", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[[], None],
+        name: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.name = name or getattr(action, "__name__", "event")
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an event that already fired (or was already cancelled) is
+        a no-op, so callers do not need to track firing state themselves.
+        """
+        self._cancelled = True
+
+    def sort_key(self) -> tuple:
+        """The total-order key used by the scheduler's heap."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<Event {self.name!r} t={self.time:.6f} prio={self.priority} {state}>"

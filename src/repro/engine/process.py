@@ -1,0 +1,114 @@
+"""A serialized work queue: the router-CPU model.
+
+The paper configures a routing-message processing delay of U[0.1 s, 0.5 s],
+two orders of magnitude above the 2 ms link delay, and notes that Ghost
+Flushing's benefit degrades on large cliques because "the message containing
+the latest path information is delayed by the processing of a large number of
+withdrawal flushes".  That effect only exists if a node processes messages
+*one at a time*; :class:`SerialProcessor` models exactly that: an M/G/1-style
+single server with FIFO discipline.
+
+Each submitted job carries its own service time (drawn by the caller, so the
+randomness stays in the caller's named RNG stream).  The job's callback runs
+when its service completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+from .event import EventPriority
+from .scheduler import Scheduler
+
+
+class SerialProcessor:
+    """A single-server FIFO processing queue driven by the scheduler.
+
+    >>> sched = Scheduler()
+    >>> cpu = SerialProcessor(sched, name="router-3")
+    >>> done = []
+    >>> cpu.submit(0.2, lambda: done.append("a"))
+    >>> cpu.submit(0.3, lambda: done.append("b"))
+    >>> _ = sched.run()
+    >>> done   # "a" finishes at t=0.2, "b" queues behind it until t=0.5
+    ['a', 'b']
+    """
+
+    def __init__(self, scheduler: Scheduler, name: str = "processor") -> None:
+        self._scheduler = scheduler
+        self._name = name
+        self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._busy = False
+        self._jobs_completed = 0
+        self._busy_until = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while a job is in service."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of jobs waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def jobs_completed(self) -> int:
+        """Total jobs whose service has finished."""
+        return self._jobs_completed
+
+    @property
+    def backlog_time(self) -> float:
+        """Seconds until the queue would drain if nothing else arrives.
+
+        Only an estimate of the in-service job's remainder plus the service
+        times already assigned to the queued jobs.
+        """
+        waiting = sum(service for service, _ in self._queue)
+        in_service = max(0.0, self._busy_until - self._scheduler.now)
+        return waiting + in_service
+
+    # ------------------------------------------------------------------
+
+    def submit(self, service_time: float, on_done: Callable[[], None]) -> None:
+        """Enqueue a job that takes ``service_time`` seconds of CPU.
+
+        ``on_done`` runs at the simulated instant the service completes.
+        """
+        if service_time < 0:
+            raise ValueError(f"negative service time {service_time}")
+        self._queue.append((service_time, on_done))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        service_time, on_done = self._queue.popleft()
+        self._busy_until = self._scheduler.now + service_time
+
+        def finish() -> None:
+            self._jobs_completed += 1
+            # Run the job body before starting the next service slot so a
+            # job's side effects (e.g. enqueueing replies) see a consistent
+            # clock, then immediately begin the next queued job.
+            on_done()
+            self._start_next()
+
+        self._scheduler.call_after(
+            service_time,
+            finish,
+            priority=EventPriority.PROCESSING,
+            name=f"{self._name}:job",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SerialProcessor {self._name!r} busy={self._busy} "
+            f"queued={len(self._queue)} done={self._jobs_completed}>"
+        )

@@ -1,0 +1,198 @@
+"""The discrete-event scheduler.
+
+This is the core of the simulation substrate that replaces SSFNET's event
+kernel in the original study.  It is a classic calendar-of-events design: a
+binary heap of :class:`~repro.engine.event.Event` objects, popped in
+``(time, priority, sequence)`` order.
+
+Design points that matter for reproducing the paper:
+
+* **Determinism** — for a fixed seed every run pops events in the same order,
+  because simultaneous events are tie-broken by scheduling sequence number.
+* **Lazy cancellation** — protocol code cancels and re-arms MRAI timers
+  constantly; cancellation just flags the event and the heap skips it later.
+* **Run guards** — ``run()`` accepts both a time horizon and an event-count
+  budget so runaway protocol bugs fail loudly instead of spinning forever.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from ..errors import SchedulingError
+from .event import Event, EventPriority
+
+
+class Scheduler:
+    """A deterministic discrete-event scheduler.
+
+    Typical use::
+
+        sched = Scheduler()
+        sched.call_at(1.5, lambda: print("fires at t=1.5"))
+        sched.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+        self._last_event_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def last_event_time(self) -> Optional[float]:
+        """Time of the most recently fired event (``None`` before any).
+
+        Unlike :attr:`now`, this does not advance when ``run(until=...)``
+        moves the clock to an event-free horizon, so it marks the true
+        quiescence point of a simulation.
+        """
+        return self._last_event_time
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def call_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = EventPriority.TIMER,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``action`` to run at absolute simulation time ``time``.
+
+        Returns the :class:`Event` handle, which supports ``cancel()``.
+        Raises :class:`SchedulingError` if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event {name or action!r} at t={time}; "
+                f"clock is already at t={self._now}"
+            )
+        event = Event(time, int(priority), self._seq, action, name)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        priority: int = EventPriority.TIMER,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay} for {name or action!r}")
+        return self.call_at(self._now + delay, action, priority, name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask a running simulation to stop after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Fire the single next non-cancelled event.
+
+        Returns ``True`` if an event fired, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SchedulingError(
+                    f"heap returned event {event!r} earlier than clock {self._now}"
+                )
+            self._now = event.time
+            self._events_processed += 1
+            self._last_event_time = event.time
+            event.action()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run events until quiescence, a time horizon, or an event budget.
+
+        Parameters
+        ----------
+        until:
+            Absolute simulation time at which to stop.  Events scheduled at
+            exactly ``until`` still fire; later ones stay queued.  ``None``
+            means run to quiescence (empty heap).
+        max_events:
+            Fail-safe budget; exceeding it raises :class:`SchedulingError`
+            because a healthy routing simulation always quiesces.
+
+        Returns the simulation time when the run stopped.
+        """
+        if self._running:
+            raise SchedulingError("scheduler is not re-entrant; run() already active")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SchedulingError(
+                        f"exceeded event budget of {max_events} events at "
+                        f"t={self._now}; the protocol is likely not converging"
+                    )
+            else:
+                if until is not None and self._now < until and not self._stopped:
+                    # Heap drained before the horizon: advance clock to it so
+                    # post-run measurements (e.g. traffic windows) line up.
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when quiescent."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scheduler t={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` from stdlib misuse)
+propagate naturally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly or reached a bad state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped scheduler."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or a generator received invalid parameters."""
+
+
+class NetworkError(ReproError):
+    """The network substrate was misconfigured (unknown node, dead link...)."""
+
+
+class ProtocolError(ReproError):
+    """A routing protocol implementation reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """An experiment or protocol configuration is invalid."""
+
+
+class AnalysisError(ReproError):
+    """Loop/convergence analysis was asked something it cannot answer."""

@@ -1,0 +1,39 @@
+"""Experiment harness: scenarios, single runs, sweeps, figures, reports."""
+
+from .config import RunSettings
+from .report import FigureData, run_summary_table
+from .runner import ExperimentRun, build_network, run_experiment
+from .scenarios import (
+    DEFAULT_PREFIX,
+    EventKind,
+    Scenario,
+    custom_tdown,
+    custom_tlong,
+    tdown_clique,
+    tdown_internet,
+    tlong_bclique,
+    tlong_internet,
+)
+from .sweep import SweepPoint, series, sweep, xs_of
+
+__all__ = [
+    "DEFAULT_PREFIX",
+    "EventKind",
+    "ExperimentRun",
+    "FigureData",
+    "RunSettings",
+    "Scenario",
+    "SweepPoint",
+    "build_network",
+    "custom_tdown",
+    "custom_tlong",
+    "run_experiment",
+    "run_summary_table",
+    "series",
+    "sweep",
+    "tdown_clique",
+    "tdown_internet",
+    "tlong_bclique",
+    "tlong_internet",
+    "xs_of",
+]

@@ -1,0 +1,53 @@
+"""Run-level settings shared by every experiment.
+
+:class:`RunSettings` covers the simulator knobs that are *not* part of the
+protocol variant (those live in :class:`~repro.bgp.config.BgpConfig`): the
+traffic model, TTL, and engine safety budgets.  Defaults are the paper's
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataplane import DEFAULT_PACKET_RATE, DEFAULT_TTL
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Everything about a run other than topology, event, and protocol.
+
+    Attributes
+    ----------
+    packet_rate:
+        Packets per second per source AS (paper: 10).
+    ttl:
+        Initial TTL (paper: 128).
+    failure_guard:
+        Seconds of quiet between warm-up quiescence and the injected
+        failure, so the failure timestamp is unambiguous in traces.
+    event_budget:
+        Hard cap on post-failure events; a protocol bug that prevents
+        convergence fails loudly instead of hanging.
+    horizon:
+        Hard wall-clock (simulated) limit for the post-failure phase.
+    """
+
+    packet_rate: float = DEFAULT_PACKET_RATE
+    ttl: int = DEFAULT_TTL
+    failure_guard: float = 1.0
+    event_budget: int = 5_000_000
+    horizon: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.packet_rate <= 0:
+            raise ConfigError(f"packet_rate must be positive: {self.packet_rate}")
+        if self.ttl < 1:
+            raise ConfigError(f"ttl must be >= 1: {self.ttl}")
+        if self.failure_guard < 0:
+            raise ConfigError(f"failure_guard must be >= 0: {self.failure_guard}")
+        if self.event_budget < 1:
+            raise ConfigError(f"event_budget must be >= 1: {self.event_budget}")
+        if self.horizon <= 0:
+            raise ConfigError(f"horizon must be positive: {self.horizon}")

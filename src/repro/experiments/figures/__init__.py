@@ -1,0 +1,46 @@
+"""Per-figure experiment drivers (one module per paper figure).
+
+Each ``figureNx`` function runs the corresponding sweep and returns a
+:class:`~repro.experiments.report.FigureData` with the measured series and
+the paper's shape claims as machine checks.  All drivers take size/seed
+parameters so benchmarks can trade fidelity for speed; EXPERIMENTS.md
+records the settings used for the shipped results.
+"""
+
+from .common import metric_sweep_figure, normalize_to, variant_comparison_series
+from .fig4 import figure4a, figure4b, figure4c
+from .fig5 import figure5a, figure5b
+from .fig6 import figure6a, figure6b, figure6c
+from .fig7 import figure7a, figure7b
+from .fig8 import figure8a, figure8b, figure8c, figure8d
+from .fig9 import figure9a, figure9b, figure9c, figure9d
+from .theory import theory_bound_figure
+from .tradeoff import FateBreakdown, packet_fate_breakdown, render_fate_table
+
+__all__ = [
+    "FateBreakdown",
+    "figure4a",
+    "figure4b",
+    "figure4c",
+    "figure5a",
+    "figure5b",
+    "figure6a",
+    "figure6b",
+    "figure6c",
+    "figure7a",
+    "figure7b",
+    "figure8a",
+    "figure8b",
+    "figure8c",
+    "figure8d",
+    "figure9a",
+    "figure9b",
+    "figure9c",
+    "figure9d",
+    "metric_sweep_figure",
+    "normalize_to",
+    "packet_fate_breakdown",
+    "render_fate_table",
+    "theory_bound_figure",
+    "variant_comparison_series",
+]

@@ -1,0 +1,107 @@
+"""Shared machinery for the per-figure drivers.
+
+Every figure in §4-§5 is one of two shapes:
+
+* **metric sweep** — x-axis sweep of one scenario family, several metrics
+  plotted (Figures 4-7): :func:`metric_sweep_figure`;
+* **variant comparison** — the same sweep repeated for each of the five
+  protocol variants, one metric plotted (Figures 8-9):
+  :func:`variant_comparison_series`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...bgp import BgpConfig, variant
+from ..config import RunSettings
+from ..report import FigureData
+from ..sweep import ScenarioFactory, SweepPoint, series, sweep, xs_of
+
+#: Metric label → LoopStudyResult.summary_row() key, shared across figures.
+METRIC_KEYS = {
+    "looping_duration": "looping_duration",
+    "convergence_time": "convergence_time",
+    "ttl_exhaustions": "ttl_exhaustions",
+    "looping_ratio": "looping_ratio",
+}
+
+
+def metric_sweep_figure(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    xs: Sequence[float],
+    make_scenario: ScenarioFactory,
+    metrics: Sequence[str],
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+    config: Optional[BgpConfig] = None,
+    mrai_is_x: bool = False,
+) -> Tuple[FigureData, List[SweepPoint]]:
+    """Run one sweep and package the requested metric series as a figure.
+
+    ``mrai_is_x`` makes the x value the MRAI setting (Figures 5 and 7);
+    otherwise the MRAI is fixed at ``mrai`` and x parameterizes the scenario
+    (topology size, Figures 4 and 6).
+    """
+    base = config or BgpConfig.standard(mrai)
+    if mrai_is_x:
+        make_config = lambda x: base.with_mrai(x)  # noqa: E731 - tiny closure
+    else:
+        make_config = lambda x: base  # noqa: E731
+
+    points = sweep(xs, make_scenario, make_config, seeds=seeds, settings=settings)
+    figure = FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        xs=xs_of(points),
+        series={name: series(points, METRIC_KEYS[name]) for name in metrics},
+    )
+    return figure, points
+
+
+def variant_comparison_series(
+    xs: Sequence[float],
+    make_scenario: ScenarioFactory,
+    metric: str,
+    variant_names: Sequence[str],
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> Dict[str, List[float]]:
+    """One metric's sweep series per protocol variant.
+
+    Returns ``{variant_name: [metric at each x]}`` with every variant run on
+    identical scenarios and seeds, making the comparison paired.
+    """
+    result: Dict[str, List[float]] = {}
+    for name in variant_names:
+        config = variant(name, mrai=mrai)
+        points = sweep(
+            xs, make_scenario, lambda _x: config, seeds=seeds, settings=settings
+        )
+        result[name] = series(points, METRIC_KEYS[metric])
+    return result
+
+
+def normalize_to(
+    baseline: Sequence[float], others: Dict[str, List[float]]
+) -> Dict[str, List[float]]:
+    """Normalize each series pointwise by ``baseline`` (paper Figs 8a/9a).
+
+    A zero baseline point normalizes to 1.0 when the other series is also
+    zero there (both loop-free — parity), else to ``inf``.
+    """
+    normalized: Dict[str, List[float]] = {}
+    for name, values in others.items():
+        row = []
+        for base_value, value in zip(baseline, values):
+            if base_value == 0:
+                row.append(1.0 if value == 0 else float("inf"))
+            else:
+                row.append(value / base_value)
+        normalized[name] = row
+    return normalized

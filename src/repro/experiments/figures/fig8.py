@@ -1,0 +1,153 @@
+"""Figure 8: the four convergence enhancements under Tdown.
+
+Four panels: (a) TTL exhaustions normalized by standard BGP in Cliques,
+(b) convergence time in Cliques, (c) TTL exhaustions and (d) convergence
+time in Internet-derived topologies.  Expected shape (Observation 3):
+Assertion dominates in Cliques (direct neighbors of the origin assert every
+backup away at once); Ghost Flushing is best on Internet-derived graphs and
+cuts looping by >= 80%; SSLD helps modestly; WRATE is mixed-to-harmful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ...bgp import VARIANT_NAMES
+from ...core import check_enhancement_ranking
+from ..config import RunSettings
+from ..report import FigureData
+from ..scenarios import tdown_clique, tdown_internet
+from .common import normalize_to, variant_comparison_series
+
+
+def _comparison_figure(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    xs: Sequence[int],
+    raw: Dict[str, List[float]],
+    normalized: bool,
+    add_ranking_check: bool,
+) -> FigureData:
+    shown = raw
+    if normalized:
+        shown = normalize_to(raw["standard"], raw)
+    figure = FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        xs=[float(x) for x in xs],
+        series=shown,
+    )
+    if add_ranking_check:
+        at_largest = {name: values[-1] for name, values in raw.items()}
+        figure.checks.extend(check_enhancement_ranking(at_largest))
+    return figure
+
+
+def figure8a(
+    sizes: Sequence[int] = (5, 8, 11),
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> FigureData:
+    """TTL exhaustions normalized by standard BGP, Tdown in Cliques."""
+    raw = variant_comparison_series(
+        [float(s) for s in sizes],
+        lambda x, seed: tdown_clique(int(x)),
+        "ttl_exhaustions",
+        VARIANT_NAMES,
+        mrai=mrai,
+        seeds=seeds,
+        settings=settings,
+    )
+    return _comparison_figure(
+        "fig8a",
+        "Tdown TTL exhaustions normalized by standard BGP (Clique)",
+        "clique_size",
+        list(sizes),
+        raw,
+        normalized=True,
+        add_ranking_check=True,
+    )
+
+
+def figure8b(
+    sizes: Sequence[int] = (5, 8, 11),
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> FigureData:
+    """Convergence time per variant, Tdown in Cliques."""
+    raw = variant_comparison_series(
+        [float(s) for s in sizes],
+        lambda x, seed: tdown_clique(int(x)),
+        "convergence_time",
+        VARIANT_NAMES,
+        mrai=mrai,
+        seeds=seeds,
+        settings=settings,
+    )
+    return _comparison_figure(
+        "fig8b",
+        "Tdown convergence time per variant (Clique)",
+        "clique_size",
+        list(sizes),
+        raw,
+        normalized=False,
+        add_ranking_check=False,
+    )
+
+
+def figure8c(
+    sizes: Sequence[int] = (29, 48),
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> FigureData:
+    """TTL exhaustions per variant, Tdown in Internet-derived graphs."""
+    raw = variant_comparison_series(
+        [float(s) for s in sizes],
+        lambda x, seed: tdown_internet(int(x), seed=seed),
+        "ttl_exhaustions",
+        VARIANT_NAMES,
+        mrai=mrai,
+        seeds=seeds,
+        settings=settings,
+    )
+    return _comparison_figure(
+        "fig8c",
+        "Tdown TTL exhaustions per variant (Internet-derived)",
+        "internet_size",
+        list(sizes),
+        raw,
+        normalized=False,
+        add_ranking_check=True,
+    )
+
+
+def figure8d(
+    sizes: Sequence[int] = (29, 48),
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> FigureData:
+    """Convergence time per variant, Tdown in Internet-derived graphs."""
+    raw = variant_comparison_series(
+        [float(s) for s in sizes],
+        lambda x, seed: tdown_internet(int(x), seed=seed),
+        "convergence_time",
+        VARIANT_NAMES,
+        mrai=mrai,
+        seeds=seeds,
+        settings=settings,
+    )
+    return _comparison_figure(
+        "fig8d",
+        "Tdown convergence time per variant (Internet-derived)",
+        "internet_size",
+        list(sizes),
+        raw,
+        normalized=False,
+        add_ranking_check=False,
+    )

@@ -1,0 +1,138 @@
+"""Figure 9: the four convergence enhancements under Tlong.
+
+Four panels: (a) TTL exhaustions normalized by standard BGP in B-Cliques,
+(b) convergence time in B-Cliques, (c) TTL exhaustions and (d) convergence
+time in Internet-derived topologies.  The headline result is WRATE's
+regression: on Internet-derived Tlong it makes packet looping an order of
+magnitude worse than standard BGP, because rate-limited withdrawals are
+exactly the messages that would have broken loops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...bgp import VARIANT_NAMES
+from ...core import check_wrate_regression
+from ..config import RunSettings
+from ..report import FigureData
+from ..scenarios import tlong_bclique, tlong_internet
+from .common import variant_comparison_series
+from .fig8 import _comparison_figure
+
+
+def figure9a(
+    sizes: Sequence[int] = (4, 6, 8),
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> FigureData:
+    """TTL exhaustions normalized by standard BGP, Tlong in B-Cliques."""
+    raw = variant_comparison_series(
+        [float(s) for s in sizes],
+        lambda x, seed: tlong_bclique(int(x)),
+        "ttl_exhaustions",
+        VARIANT_NAMES,
+        mrai=mrai,
+        seeds=seeds,
+        settings=settings,
+    )
+    return _comparison_figure(
+        "fig9a",
+        "Tlong TTL exhaustions normalized by standard BGP (B-Clique)",
+        "bclique_size",
+        list(sizes),
+        raw,
+        normalized=True,
+        add_ranking_check=False,
+    )
+
+
+def figure9b(
+    sizes: Sequence[int] = (4, 6, 8),
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> FigureData:
+    """Convergence time per variant, Tlong in B-Cliques."""
+    raw = variant_comparison_series(
+        [float(s) for s in sizes],
+        lambda x, seed: tlong_bclique(int(x)),
+        "convergence_time",
+        VARIANT_NAMES,
+        mrai=mrai,
+        seeds=seeds,
+        settings=settings,
+    )
+    return _comparison_figure(
+        "fig9b",
+        "Tlong convergence time per variant (B-Clique)",
+        "bclique_size",
+        list(sizes),
+        raw,
+        normalized=False,
+        add_ranking_check=False,
+    )
+
+
+def figure9c(
+    sizes: Sequence[int] = (29, 48),
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> FigureData:
+    """TTL exhaustions per variant, Tlong on Internet-derived graphs.
+
+    Includes the WRATE-regression check: WRATE should show at least 20%
+    more looping than standard at the largest size (the paper reports an
+    order of magnitude).
+    """
+    raw = variant_comparison_series(
+        [float(s) for s in sizes],
+        lambda x, seed: tlong_internet(int(x), seed=seed),
+        "ttl_exhaustions",
+        VARIANT_NAMES,
+        mrai=mrai,
+        seeds=seeds,
+        settings=settings,
+    )
+    figure = _comparison_figure(
+        "fig9c",
+        "Tlong TTL exhaustions per variant (Internet-derived)",
+        "internet_size",
+        list(sizes),
+        raw,
+        normalized=False,
+        add_ranking_check=False,
+    )
+    figure.checks.append(
+        check_wrate_regression(raw["standard"][-1], raw["wrate"][-1])
+    )
+    return figure
+
+
+def figure9d(
+    sizes: Sequence[int] = (29, 48),
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> FigureData:
+    """Convergence time per variant, Tlong on Internet-derived graphs."""
+    raw = variant_comparison_series(
+        [float(s) for s in sizes],
+        lambda x, seed: tlong_internet(int(x), seed=seed),
+        "convergence_time",
+        VARIANT_NAMES,
+        mrai=mrai,
+        seeds=seeds,
+        settings=settings,
+    )
+    return _comparison_figure(
+        "fig9d",
+        "Tlong convergence time per variant (Internet-derived)",
+        "internet_size",
+        list(sizes),
+        raw,
+        normalized=False,
+        add_ranking_check=False,
+    )

@@ -1,0 +1,90 @@
+"""Packet-fate tradeoff study: loops traded for drops.
+
+§5's caveat about the winning enhancement: Ghost Flushing "provides fast
+propagation of failure information without propagating the new reachability
+information at the same speed.  Thus nodes that lost their current path to
+the destination ... end up dropping packets, as opposed to continuing
+forwarding packets based on the old reachability information."
+
+This driver quantifies that tradeoff, which the paper discusses but does
+not plot: for a Tlong event (where delivery remains possible) it breaks
+every packet sent during convergence into delivered / dropped-no-route /
+looped-to-death, per protocol variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ...bgp import variant
+from ...errors import AnalysisError
+from ...util import mean, render_table
+from ..config import RunSettings
+from ..runner import run_experiment
+from ..scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class FateBreakdown:
+    """Mean packet-fate fractions for one protocol variant."""
+
+    variant: str
+    packets_sent: float
+    delivered_ratio: float
+    no_route_ratio: float
+    looped_ratio: float
+
+    def row(self) -> List:
+        return [
+            self.variant,
+            self.packets_sent,
+            self.delivered_ratio,
+            self.no_route_ratio,
+            self.looped_ratio,
+        ]
+
+
+def packet_fate_breakdown(
+    make_scenario: Callable[[int], Scenario],
+    variant_names: Sequence[str],
+    mrai: float = 30.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    settings: RunSettings = RunSettings(),
+) -> Dict[str, FateBreakdown]:
+    """Run each variant over the seeded scenarios and pool packet fates."""
+    if not seeds:
+        raise AnalysisError("need at least one seed")
+    result: Dict[str, FateBreakdown] = {}
+    for name in variant_names:
+        config = variant(name, mrai=mrai)
+        sent: List[float] = []
+        delivered: List[float] = []
+        no_route: List[float] = []
+        looped: List[float] = []
+        for seed in seeds:
+            report = run_experiment(
+                make_scenario(seed), config, settings=settings, seed=seed
+            ).result.dataplane
+            sent.append(float(report.packets_sent))
+            total = report.packets_sent or 1
+            delivered.append(report.delivered / total)
+            no_route.append(report.dropped_no_route / total)
+            looped.append(report.ttl_exhaustions / total)
+        result[name] = FateBreakdown(
+            variant=name,
+            packets_sent=mean(sent),
+            delivered_ratio=mean(delivered),
+            no_route_ratio=mean(no_route),
+            looped_ratio=mean(looped),
+        )
+    return result
+
+
+def render_fate_table(
+    breakdowns: Dict[str, FateBreakdown], title: str
+) -> str:
+    """The tradeoff as an ASCII table (one row per variant)."""
+    headers = ["variant", "packets", "delivered", "dropped_no_route", "looped"]
+    rows = [breakdowns[name].row() for name in breakdowns]
+    return render_table(headers, rows, title=title)

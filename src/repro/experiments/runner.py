@@ -1,0 +1,195 @@
+"""The single-run experiment driver.
+
+:func:`run_experiment` executes the paper's measurement protocol end to end:
+
+1. Build the network of :class:`~repro.bgp.speaker.BgpSpeaker` nodes over the
+   scenario's topology; the destination AS originates the prefix.
+2. Run to quiescence — the warm-up convergence that establishes steady-state
+   routing (its messages are excluded from all metrics).
+3. Inject the scenario's event (Tdown origin withdrawal or Tlong link
+   failure) after a short guard interval.
+4. Run to quiescence again, with an event budget as a non-convergence alarm.
+5. Measure: convergence time from the message trace, packet fates from the
+   FIB change log via the epoch evaluator, and per-loop lifetimes from the
+   loop timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..bgp import BgpConfig, BgpSpeaker, RoutingPolicy
+from ..core import LoopStudyResult, loop_timeline, measure_convergence
+from ..core.exploration import RouteChangeLog
+from ..dataplane import EpochEvaluator, FibChangeLog, sources_for
+from ..engine import RandomStreams, Scheduler
+from ..errors import SimulationError
+from ..net import Network
+from .config import RunSettings
+from .scenarios import EventKind, Scenario
+
+PolicyFactory = Callable[[int], RoutingPolicy]
+"""``factory(node_id) -> RoutingPolicy`` for per-node policies (e.g. a
+Gao-Rexford assignment); ``None`` gives every node the default
+shortest-path policy."""
+
+
+@dataclass
+class ExperimentRun:
+    """A completed run: the metrics plus enough context to interpret them."""
+
+    scenario: Scenario
+    bgp_config: BgpConfig
+    settings: RunSettings
+    seed: int
+    result: LoopStudyResult
+    warmup_time: float
+    failure_time: float
+    end_time: float
+    fib_log: FibChangeLog
+    route_log: RouteChangeLog = field(default_factory=RouteChangeLog)
+    network: Optional[Network] = None
+
+    @property
+    def converged(self) -> bool:
+        """True when the post-failure phase reached quiescence."""
+        return self.end_time < self.failure_time + self.settings.horizon
+
+
+def build_network(
+    scenario: Scenario,
+    bgp_config: BgpConfig,
+    streams: RandomStreams,
+    scheduler: Scheduler,
+    fib_log: FibChangeLog,
+    policy_factory: Optional[PolicyFactory] = None,
+    route_log: Optional[RouteChangeLog] = None,
+) -> Network:
+    """Instantiate speakers over the scenario topology, origin configured."""
+
+    def factory(node_id: int, sched: Scheduler) -> BgpSpeaker:
+        return BgpSpeaker(
+            node_id,
+            sched,
+            config=bgp_config,
+            streams=streams,
+            policy=policy_factory(node_id) if policy_factory else None,
+            fib_listener=fib_log.record,
+            route_listener=route_log.record if route_log is not None else None,
+        )
+
+    network = Network(scenario.topology, scheduler, factory)
+    origin = network.node(scenario.destination)
+    assert isinstance(origin, BgpSpeaker)
+    origin.originate(scenario.prefix)
+    return network
+
+
+def run_experiment(
+    scenario: Scenario,
+    bgp_config: BgpConfig,
+    settings: RunSettings = RunSettings(),
+    seed: int = 0,
+    keep_network: bool = False,
+    on_network_ready: Optional[Callable[[Network, float], None]] = None,
+    policy_factory: Optional[PolicyFactory] = None,
+) -> ExperimentRun:
+    """Run one complete scenario and return its measurements.
+
+    Parameters
+    ----------
+    scenario, bgp_config, settings:
+        What to simulate.
+    seed:
+        Root seed for all randomness (jitter, processing delays).
+    keep_network:
+        Retain the live network on the returned record (tests/debugging).
+    on_network_ready:
+        Optional hook invoked after warm-up with ``(network, failure_time)``
+        — used by validation code to attach an event-driven packet forwarder
+        before the failure phase begins.
+    policy_factory:
+        Optional per-node routing-policy assignment (e.g. Gao-Rexford
+        relationships); default is the paper's shortest-path policy.
+    """
+    streams = RandomStreams(seed)
+    scheduler = Scheduler()
+    fib_log = FibChangeLog()
+    route_log = RouteChangeLog()
+    network = build_network(
+        scenario, bgp_config, streams, scheduler, fib_log, policy_factory, route_log
+    )
+    network.start()
+
+    # Phase 1: warm-up convergence (not part of any metric).
+    scheduler.run(max_events=settings.event_budget)
+    warmup_time = scheduler.now
+    failure_time = warmup_time + settings.failure_guard
+
+    # Phase 2: inject the event.
+    if scenario.event is EventKind.TDOWN:
+        origin = network.node(scenario.destination)
+        assert isinstance(origin, BgpSpeaker)
+        scheduler.call_at(
+            failure_time,
+            lambda: origin.withdraw_origin(scenario.prefix),
+            priority=0,
+            name="tdown",
+        )
+    else:
+        assert scenario.failed_link is not None
+        u, v = scenario.failed_link
+        network.schedule_link_failure(u, v, failure_time)
+
+    if on_network_ready is not None:
+        on_network_ready(network, failure_time)
+
+    # Phase 3: post-failure convergence.
+    scheduler.run(
+        until=failure_time + settings.horizon,
+        max_events=settings.event_budget,
+    )
+    if scheduler.peek_time() is not None:
+        raise SimulationError(
+            f"scenario {scenario.name!r} did not converge within the "
+            f"{settings.horizon}s horizon (events still pending at "
+            f"t={scheduler.now})"
+        )
+    end_time = max(failure_time, scheduler.last_event_time or failure_time)
+
+    # Phase 4: measurement.
+    convergence = measure_convergence(network.trace, failure_time)
+    window = (failure_time, convergence.convergence_end)
+    sources = sources_for(
+        scenario.topology.nodes,
+        scenario.destination,
+        rate=settings.packet_rate,
+    )
+    evaluator = EpochEvaluator(
+        log=fib_log,
+        prefix=scenario.prefix,
+        sources=sources,
+        ttl=settings.ttl,
+    )
+    dataplane = evaluator.evaluate(*window)
+    intervals = loop_timeline(fib_log, scenario.prefix, window[0], window[1])
+    result = LoopStudyResult(
+        convergence=convergence,
+        dataplane=dataplane,
+        loop_intervals=intervals,
+        total_messages=len(network.trace),
+    )
+    return ExperimentRun(
+        scenario=scenario,
+        bgp_config=bgp_config,
+        settings=settings,
+        seed=seed,
+        result=result,
+        warmup_time=warmup_time,
+        failure_time=failure_time,
+        end_time=end_time,
+        fib_log=fib_log,
+        route_log=route_log,
+        network=network if keep_network else None,
+    )

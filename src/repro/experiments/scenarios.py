@@ -1,0 +1,185 @@
+"""Experiment scenarios: a topology plus the §4.1 failure event.
+
+A :class:`Scenario` fixes *what breaks where*: the topology, the destination
+AS (which originates the studied prefix), and either a **Tdown** event (the
+destination becomes unreachable — the origin withdraws) or a **Tlong** event
+(one transit link fails; the destination stays reachable over less-preferred
+paths).
+
+The module provides the paper's concrete scenario families:
+Clique + Tdown, B-Clique + Tlong, and Internet-like graphs with both events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigError, TopologyError
+from ..topology import (
+    Topology,
+    b_clique,
+    choose_destination,
+    choose_failure_link,
+    clique,
+    internet_like,
+    provider_load,
+)
+
+DEFAULT_PREFIX = "dest"
+"""The prefix name used by all built-in scenarios."""
+
+
+class EventKind(enum.Enum):
+    """The two §4.1 topology-change events."""
+
+    TDOWN = "tdown"
+    TLONG = "tlong"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified experiment setup."""
+
+    name: str
+    topology: Topology
+    destination: int
+    event: EventKind
+    failed_link: Optional[Tuple[int, int]] = None
+    prefix: str = DEFAULT_PREFIX
+
+    def __post_init__(self) -> None:
+        if not self.topology.has_node(self.destination):
+            raise ConfigError(
+                f"destination {self.destination} not in topology {self.topology.name!r}"
+            )
+        if self.event is EventKind.TLONG:
+            if self.failed_link is None:
+                raise ConfigError("a Tlong scenario must name the link to fail")
+            u, v = self.failed_link
+            if not self.topology.has_edge(u, v):
+                raise ConfigError(f"failed link ({u}, {v}) not in topology")
+            if self.topology.is_cut_edge(u, v):
+                raise ConfigError(
+                    f"link ({u}, {v}) is a cut edge; failing it would disconnect "
+                    "the graph, which contradicts Tlong's definition"
+                )
+        elif self.failed_link is not None:
+            raise ConfigError("a Tdown scenario must not name a failed link")
+
+    @property
+    def source_nodes(self) -> list:
+        """Every AS that hosts a traffic source (all but the destination)."""
+        return [n for n in self.topology.nodes if n != self.destination]
+
+
+# ----------------------------------------------------------------------
+# The paper's scenario families
+# ----------------------------------------------------------------------
+
+
+def tdown_clique(n: int) -> Scenario:
+    """Tdown in an n-clique: the classic convergence worst case."""
+    return Scenario(
+        name=f"tdown-clique-{n}",
+        topology=clique(n),
+        destination=0,
+        event=EventKind.TDOWN,
+    )
+
+
+def tlong_bclique(n: int) -> Scenario:
+    """Tlong in a size-n B-Clique: fail the edge-to-core link (0, n).
+
+    "AS 0 is chosen as the destination AS and the link between AS 0 and n is
+    failed during simulation to induce a Tlong event."
+    """
+    return Scenario(
+        name=f"tlong-bclique-{n}",
+        topology=b_clique(n),
+        destination=0,
+        event=EventKind.TLONG,
+        failed_link=(0, n),
+    )
+
+
+def tdown_internet(n: int, seed: int = 0) -> Scenario:
+    """Tdown in an Internet-like graph; destination drawn from the stubs."""
+    topo = internet_like(n, seed=seed)
+    destination = choose_destination(topo, seed=seed)
+    return Scenario(
+        name=f"tdown-internet-{n}-s{seed}",
+        topology=topo,
+        destination=destination,
+        event=EventKind.TDOWN,
+    )
+
+
+def tlong_internet(n: int, seed: int = 0, candidates: int = 8) -> Scenario:
+    """Tlong in an Internet-like graph: fail the destination's primary link.
+
+    Candidate destinations are low-degree nodes whose link can fail without
+    disconnecting them (Tlong's definition).  Among the ``candidates``
+    lowest-degree qualifying nodes, the one with the most *dominant* primary
+    provider is selected — failing a dominant primary is the event the paper
+    studies ("forces the rest of the network to use less preferred paths");
+    failing a balanced provider's link converges almost silently.  The
+    ``seed`` determines the topology and breaks remaining ties.
+    """
+    topo = internet_like(n, seed=seed)
+    ranked = sorted(topo.nodes, key=lambda x: (topo.degree(x), x))
+    best: Optional[Tuple[float, int, Tuple[int, int]]] = None
+    examined = 0
+    for destination in ranked:
+        if topo.degree(destination) < 2:
+            continue
+        try:
+            failed = choose_failure_link(topo, destination, seed=seed)
+        except TopologyError:
+            continue
+        examined += 1
+        loads = provider_load(topo, destination)
+        total = sum(loads.values()) or 1
+        dominance = loads[failed[1]] / total
+        key = (dominance, -destination)
+        if best is None or key > best[0:2]:
+            best = (dominance, -destination, failed)
+        if examined >= candidates:
+            break
+    if best is None:
+        raise ConfigError(f"no Tlong-capable destination in internet_like({n}, {seed})")
+    destination = -best[1]
+    return Scenario(
+        name=f"tlong-internet-{n}-s{seed}",
+        topology=topo,
+        destination=destination,
+        event=EventKind.TLONG,
+        failed_link=best[2],
+    )
+
+
+def custom_tdown(topology: Topology, destination: int, name: str = "") -> Scenario:
+    """Tdown on a user-supplied topology."""
+    return Scenario(
+        name=name or f"tdown-{topology.name}",
+        topology=topology,
+        destination=destination,
+        event=EventKind.TDOWN,
+    )
+
+
+def custom_tlong(
+    topology: Topology,
+    destination: int,
+    failed_link: Tuple[int, int],
+    name: str = "",
+) -> Scenario:
+    """Tlong on a user-supplied topology and link."""
+    return Scenario(
+        name=name or f"tlong-{topology.name}",
+        topology=topology,
+        destination=destination,
+        event=EventKind.TLONG,
+        failed_link=failed_link,
+    )

@@ -1,0 +1,93 @@
+"""Parameter sweeps with repeated seeded trials.
+
+Every figure in the paper is a sweep: an x-axis (topology size or MRAI
+value), one or more measured series, each point averaged over repeated runs
+("the simulation were repeated for a number of times").  :func:`sweep`
+captures that pattern once so the per-figure drivers stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..bgp import BgpConfig
+from ..core import LoopStudyResult
+from ..errors import AnalysisError
+from ..util.stats import mean
+from .config import RunSettings
+from .runner import ExperimentRun, run_experiment
+from .scenarios import Scenario
+
+ScenarioFactory = Callable[[float, int], Scenario]
+"""``factory(x, seed) -> Scenario`` for the sweep's x value and trial seed."""
+
+ConfigFactory = Callable[[float], BgpConfig]
+"""``factory(x) -> BgpConfig`` for the sweep's x value."""
+
+
+@dataclass
+class SweepPoint:
+    """All trials at one x value."""
+
+    x: float
+    runs: List[ExperimentRun] = field(default_factory=list)
+
+    @property
+    def results(self) -> List[LoopStudyResult]:
+        return [run.result for run in self.runs]
+
+    def mean_metric(self, name: str) -> float:
+        """Trial-mean of one ``LoopStudyResult.summary_row()`` metric."""
+        values = [result.summary_row()[name] for result in self.results]
+        if not values:
+            raise AnalysisError(f"no runs at x={self.x}")
+        return mean(values)
+
+    def metrics(self) -> Dict[str, float]:
+        """Trial-mean of every summary metric."""
+        if not self.runs:
+            raise AnalysisError(f"no runs at x={self.x}")
+        keys = self.results[0].summary_row().keys()
+        return {key: self.mean_metric(key) for key in keys}
+
+
+def sweep(
+    xs: Sequence[float],
+    make_scenario: ScenarioFactory,
+    make_config: ConfigFactory,
+    seeds: Sequence[int] = (0,),
+    settings: RunSettings = RunSettings(),
+) -> List[SweepPoint]:
+    """Run ``len(xs) × len(seeds)`` experiments and group them by x.
+
+    The scenario factory receives the trial seed so randomized scenarios
+    (Internet-derived destination/link choice) vary across trials, exactly
+    as the paper repeats runs "with different destination ASes and failed
+    links".
+    """
+    if not xs:
+        raise AnalysisError("sweep needs at least one x value")
+    if not seeds:
+        raise AnalysisError("sweep needs at least one seed")
+    points: List[SweepPoint] = []
+    for x in xs:
+        point = SweepPoint(x=x)
+        for seed in seeds:
+            scenario = make_scenario(x, seed)
+            config = make_config(x)
+            point.runs.append(
+                run_experiment(scenario, config, settings=settings, seed=seed)
+            )
+        points.append(point)
+    return points
+
+
+def series(points: Sequence[SweepPoint], metric: str) -> List[float]:
+    """Extract one metric's trial-mean series across the sweep."""
+    return [point.mean_metric(metric) for point in points]
+
+
+def xs_of(points: Sequence[SweepPoint]) -> List[float]:
+    """The sweep's x values, in run order."""
+    return [point.x for point in points]

@@ -1,0 +1,13 @@
+"""Link-state routing substrate (OSPF/IS-IS style), for the §2 comparison.
+
+Completes the protocol triangle the paper situates BGP in: link state
+(fast flooding, brief inconsistency), distance vector (:mod:`repro.dv`,
+counting to infinity), and path vector (:mod:`repro.bgp`, the paper's
+subject).  All three share the network substrate and the loop toolkit, so
+their transient behavior is directly comparable.
+"""
+
+from .lsa import LinkStateAd, make_lsa
+from .speaker import LinkStateSpeaker
+
+__all__ = ["LinkStateAd", "LinkStateSpeaker", "make_lsa"]

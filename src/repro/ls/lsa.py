@@ -1,0 +1,42 @@
+"""Link-state advertisements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+@dataclass(frozen=True)
+class LinkStateAd:
+    """One router's view of its own adjacencies, with a sequence number.
+
+    Frozen and hashable so flooding can deduplicate by value; ``newer_than``
+    implements the usual freshness rule (higher sequence wins).
+    """
+
+    origin: int
+    sequence: int
+    neighbors: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise ValueError(f"sequence must be >= 0, got {self.sequence}")
+        if self.origin in self.neighbors:
+            raise ValueError(f"LSA origin {self.origin} lists itself as neighbor")
+
+    def newer_than(self, other: "LinkStateAd") -> bool:
+        """Freshness: strictly higher sequence from the same origin."""
+        if other.origin != self.origin:
+            raise ValueError("comparing LSAs from different origins")
+        return self.sequence > other.sequence
+
+    def __repr__(self) -> str:
+        nbrs = " ".join(str(n) for n in sorted(self.neighbors))
+        return f"LSA[{self.origin} seq={self.sequence} nbrs=({nbrs})]"
+
+
+def make_lsa(origin: int, sequence: int, neighbors) -> LinkStateAd:
+    """Convenience constructor normalizing the neighbor collection."""
+    return LinkStateAd(
+        origin=origin, sequence=sequence, neighbors=frozenset(neighbors)
+    )

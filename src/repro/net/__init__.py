@@ -1,0 +1,36 @@
+"""Network substrate: nodes, links, channels, failure injection, tracing.
+
+Models the parts of SSFNET the original study relied on: reliable in-order
+delivery (BGP-over-TCP), per-link propagation delay, per-node serialized
+message processing, and whole-link failures with immediate endpoint
+notification.
+"""
+
+from .channel import Channel
+from .failures import (
+    FailureSchedule,
+    LinkFailure,
+    LinkRestore,
+    OriginWithdrawal,
+    flap,
+)
+from .link import Link
+from .network import Network, NodeFactory
+from .node import Node, zero_service_time
+from .trace import MessageTrace, TraceRecord
+
+__all__ = [
+    "Channel",
+    "FailureSchedule",
+    "Link",
+    "LinkFailure",
+    "LinkRestore",
+    "MessageTrace",
+    "Network",
+    "Node",
+    "NodeFactory",
+    "OriginWithdrawal",
+    "TraceRecord",
+    "flap",
+    "zero_service_time",
+]

@@ -1,0 +1,138 @@
+"""Reliable, in-order, unidirectional message channels.
+
+BGP runs over TCP, so the control-plane abstraction the protocol code sees is
+a loss-free FIFO byte stream with propagation delay.  :class:`Channel` models
+one direction of such a stream: messages sent on it arrive at the far end
+after the link delay, never reordered and never dropped — unless the channel
+goes *down*, at which point in-flight messages are destroyed (the TCP session
+is gone) and nothing further is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from ..engine import Event, EventPriority, Scheduler
+from ..errors import NetworkError
+
+
+class Channel:
+    """One direction of a point-to-point link.
+
+    Parameters
+    ----------
+    scheduler:
+        The simulation scheduler delivering messages.
+    src, dst:
+        Node ids, for diagnostics and tracing.
+    delay:
+        Propagation delay in seconds (the paper uses 2 ms).
+    deliver:
+        Callback ``deliver(src, message)`` invoked at the destination when a
+        message arrives.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        src: int,
+        dst: int,
+        delay: float,
+        deliver: Callable[[int, Any], None],
+    ) -> None:
+        if delay <= 0:
+            raise NetworkError(f"channel delay must be positive, got {delay}")
+        self._scheduler = scheduler
+        self.src = src
+        self.dst = dst
+        self.delay = delay
+        self._deliver = deliver
+        self._up = True
+        self._in_flight_events: List[Event] = []
+        self._last_arrival = 0.0
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        self._messages_dropped = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def up(self) -> bool:
+        """True while the channel can carry messages."""
+        return self._up
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered
+
+    @property
+    def in_flight(self) -> int:
+        """Messages currently propagating on the channel."""
+        return self._messages_sent - self._messages_delivered - self._messages_dropped
+
+    # ------------------------------------------------------------------
+
+    def send(self, message: Any) -> None:
+        """Transmit ``message``; it arrives ``delay`` seconds later, in order.
+
+        Sending on a down channel raises :class:`NetworkError` — protocol
+        code must not talk to a dead peer, and surfacing that as an error has
+        caught several speaker bugs in development.
+        """
+        if not self._up:
+            raise NetworkError(f"channel {self.src}->{self.dst} is down")
+        # FIFO even under (hypothetical) variable delay: arrival times are
+        # clamped monotone.
+        arrival = max(self._scheduler.now + self.delay, self._last_arrival)
+        self._last_arrival = arrival
+        self._messages_sent += 1
+
+        def arrive() -> None:
+            self._messages_delivered += 1
+            self._deliver(self.src, message)
+
+        event = self._scheduler.call_at(
+            arrival,
+            arrive,
+            priority=EventPriority.DELIVERY,
+            name=f"deliver:{self.src}->{self.dst}",
+        )
+        self._in_flight_events.append(event)
+        if len(self._in_flight_events) > 64:
+            # Drop handles that already fired (their time has passed) or were
+            # cancelled; only genuinely-pending deliveries need tracking.
+            now = self._scheduler.now
+            self._in_flight_events = [
+                e for e in self._in_flight_events
+                if not e.cancelled and e.time > now
+            ]
+
+    def take_down(self) -> int:
+        """Kill the channel, destroying in-flight messages.
+
+        Returns the number of messages destroyed.  Idempotent.
+        """
+        if not self._up:
+            return 0
+        self._up = False
+        for event in self._in_flight_events:
+            event.cancel()  # no-op for handles that already fired
+        self._in_flight_events.clear()
+        destroyed = (
+            self._messages_sent - self._messages_delivered - self._messages_dropped
+        )
+        self._messages_dropped += destroyed
+        return destroyed
+
+    def bring_up(self) -> None:
+        """Restore a down channel (fresh TCP session, empty pipe)."""
+        self._up = True
+        self._last_arrival = self._scheduler.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self._up else "down"
+        return f"<Channel {self.src}->{self.dst} {state} delay={self.delay}>"

@@ -1,0 +1,102 @@
+"""Failure-scenario helpers.
+
+The paper drives every experiment with a single topology-change event.  This
+module names the two event shapes (§4.1) and provides small injectors that
+compose with :class:`~repro.net.network.Network`:
+
+* **Tdown** — "the destination AS becomes unreachable from the rest of the
+  network": the destination's attachment to its destination host is lost, so
+  the origin AS withdraws the prefix (the origin itself stays in the graph).
+* **Tlong** — "a link in the network fails, which does not disconnect the
+  destination AS but forces the rest of the network to use less preferred
+  paths": one specific transit link is failed.
+
+The protocol-specific half of Tdown (withdrawing an origination) lives on the
+protocol node (:meth:`BgpSpeaker.withdraw_origin`); the injector here just
+schedules whatever callable the scenario hands it, keeping the failure
+machinery protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import NetworkError
+from .network import Network
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """A single link failure at an absolute time."""
+
+    u: int
+    v: int
+    at: float
+
+    def inject(self, network: Network) -> None:
+        network.schedule_link_failure(self.u, self.v, self.at)
+
+
+@dataclass(frozen=True)
+class LinkRestore:
+    """A single link restoration at an absolute time."""
+
+    u: int
+    v: int
+    at: float
+
+    def inject(self, network: Network) -> None:
+        network.schedule_link_restore(self.u, self.v, self.at)
+
+
+@dataclass(frozen=True)
+class OriginWithdrawal:
+    """A Tdown trigger: at time ``at``, run the protocol-supplied action.
+
+    ``action`` is typically ``speaker.withdraw_origin`` bound to the
+    destination prefix.
+    """
+
+    node: int
+    at: float
+    action: Callable[[], None]
+
+    def inject(self, network: Network) -> None:
+        if self.node not in network.nodes:
+            raise NetworkError(f"no node {self.node} for origin withdrawal")
+        network.scheduler.call_at(
+            self.at, self.action, priority=0, name=f"tdown:{self.node}"
+        )
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered collection of failure events for one simulation run."""
+
+    events: List[object] = field(default_factory=list)
+
+    def add(self, event) -> "FailureSchedule":
+        self.events.append(event)
+        return self
+
+    def inject_all(self, network: Network) -> None:
+        """Register every event with the network's scheduler."""
+        for event in self.events:
+            event.inject(network)
+
+    @property
+    def first_failure_time(self) -> Optional[float]:
+        """Earliest event time, used as the convergence-clock origin."""
+        times = [event.at for event in self.events]
+        return min(times) if times else None
+
+
+def flap(u: int, v: int, down_at: float, up_at: float) -> FailureSchedule:
+    """A link flap: down at ``down_at``, back up at ``up_at``."""
+    if up_at <= down_at:
+        raise NetworkError(f"flap must restore after failing ({down_at} -> {up_at})")
+    schedule = FailureSchedule()
+    schedule.add(LinkFailure(u, v, down_at))
+    schedule.add(LinkRestore(u, v, up_at))
+    return schedule

@@ -1,0 +1,87 @@
+"""Bidirectional links: a pair of channels plus shared up/down state."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+from ..engine import Scheduler
+from ..errors import NetworkError
+from .channel import Channel
+
+
+class Link:
+    """An undirected adjacency realized as two directed channels.
+
+    The link as a whole is up or down; per-direction failure is not modeled
+    (the paper's failures are whole-link events).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        u: int,
+        v: int,
+        delay: float,
+        deliver_to_u: Callable[[int, Any], None],
+        deliver_to_v: Callable[[int, Any], None],
+    ) -> None:
+        if u == v:
+            raise NetworkError(f"link endpoints must differ, got ({u}, {v})")
+        self.u, self.v = (u, v) if u < v else (v, u)
+        if (u, v) != (self.u, self.v):
+            deliver_to_u, deliver_to_v = deliver_to_v, deliver_to_u
+        self._to_v = Channel(scheduler, self.u, self.v, delay, deliver_to_v)
+        self._to_u = Channel(scheduler, self.v, self.u, delay, deliver_to_u)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        """The (low, high) node-id pair of this link."""
+        return (self.u, self.v)
+
+    @property
+    def delay(self) -> float:
+        return self._to_v.delay
+
+    @property
+    def up(self) -> bool:
+        return self._to_v.up and self._to_u.up
+
+    def channel_from(self, node: int) -> Channel:
+        """The outbound channel as seen from ``node``."""
+        if node == self.u:
+            return self._to_v
+        if node == self.v:
+            return self._to_u
+        raise NetworkError(f"node {node} is not an endpoint of link {self.endpoints}")
+
+    def other_end(self, node: int) -> int:
+        """The endpoint opposite ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise NetworkError(f"node {node} is not an endpoint of link {self.endpoints}")
+
+    def send(self, src: int, message: Any) -> None:
+        """Send ``message`` from endpoint ``src`` toward the other end."""
+        self.channel_from(src).send(message)
+
+    def take_down(self) -> int:
+        """Fail the link in both directions; returns messages destroyed."""
+        return self._to_v.take_down() + self._to_u.take_down()
+
+    def bring_up(self) -> None:
+        """Repair the link in both directions."""
+        self._to_v.bring_up()
+        self._to_u.bring_up()
+
+    @property
+    def messages_carried(self) -> int:
+        """Total messages delivered in either direction."""
+        return self._to_v.messages_delivered + self._to_u.messages_delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"<Link {self.u}<->{self.v} {state}>"

@@ -1,0 +1,110 @@
+"""The protocol-agnostic node: serialized message processing over channels.
+
+A :class:`Node` owns a :class:`~repro.engine.process.SerialProcessor` (the
+router CPU).  Messages delivered by a channel do not reach the protocol
+handler immediately; they queue for a per-message service time drawn from the
+node's processing-delay distribution — the paper's U[0.1 s, 0.5 s] — and the
+handler runs when service completes.  Protocol implementations (the BGP
+speaker, the RIP baseline) subclass this and implement
+:meth:`handle_message`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List
+
+from ..engine import Scheduler, SerialProcessor
+from ..errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .network import Network
+
+
+def zero_service_time() -> float:
+    """A processing-delay distribution for instant handling (tests)."""
+    return 0.0
+
+
+class Node:
+    """Base class for simulated routers.
+
+    Subclasses receive three hooks:
+
+    * :meth:`handle_message` — a message finished its processing delay,
+    * :meth:`on_link_down` / :meth:`on_link_up` — adjacency state changed
+      (invoked immediately, modeling interface-level failure detection),
+    * :meth:`start` — the simulation is about to begin.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        scheduler: Scheduler,
+        service_time: Callable[[], float] = zero_service_time,
+    ) -> None:
+        self.node_id = node_id
+        self.scheduler = scheduler
+        self._service_time = service_time
+        self.processor = SerialProcessor(scheduler, name=f"node-{node_id}")
+        self._network: "Network" = None  # type: ignore[assignment]
+        self.messages_received = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        """Called once by :class:`Network` when the node is registered."""
+        if self._network is not None:
+            raise NetworkError(f"node {self.node_id} already attached to a network")
+        self._network = network
+
+    @property
+    def network(self) -> "Network":
+        if self._network is None:
+            raise NetworkError(f"node {self.node_id} is not attached to a network")
+        return self._network
+
+    @property
+    def neighbors(self) -> List[int]:
+        """Ids of neighbors whose link to this node is currently up."""
+        return self.network.live_neighbors(self.node_id)
+
+    def link_is_up(self, neighbor: int) -> bool:
+        """True when the adjacency to ``neighbor`` exists and is up."""
+        return self.network.link_is_up(self.node_id, neighbor)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def send(self, neighbor: int, message: Any) -> None:
+        """Transmit ``message`` to an adjacent node over the live link."""
+        self.network.send(self.node_id, neighbor, message)
+
+    def deliver(self, src: int, message: Any) -> None:
+        """Channel callback: queue the message for CPU service."""
+        self.messages_received += 1
+        self.processor.submit(
+            self._service_time(), lambda: self.handle_message(src, message)
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Initialization hook; default does nothing."""
+
+    def handle_message(self, src: int, message: Any) -> None:
+        """Process one message from neighbor ``src`` (after service delay)."""
+        raise NotImplementedError
+
+    def on_link_down(self, neighbor: int) -> None:
+        """The adjacency to ``neighbor`` just failed; default does nothing."""
+
+    def on_link_up(self, neighbor: int) -> None:
+        """The adjacency to ``neighbor`` just recovered; default does nothing."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.node_id}>"

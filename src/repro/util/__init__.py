@@ -1,0 +1,29 @@
+"""Shared utilities: statistics and report formatting."""
+
+from .stats import (
+    LinearFit,
+    Summary,
+    coefficient_of_variation,
+    linear_fit,
+    mean,
+    median,
+    stdev,
+    summarize,
+)
+from .plot import ascii_chart
+from .tables import format_cell, render_series, render_table
+
+__all__ = [
+    "LinearFit",
+    "Summary",
+    "ascii_chart",
+    "coefficient_of_variation",
+    "format_cell",
+    "linear_fit",
+    "mean",
+    "median",
+    "render_series",
+    "render_table",
+    "stdev",
+    "summarize",
+]

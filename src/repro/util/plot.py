@@ -1,0 +1,97 @@
+"""Terminal-friendly ASCII charts.
+
+Small, dependency-free scatter/line rendering used by the CLI's
+``figure --plot`` flag and the examples.  One marker character per series,
+shared axes, a y-axis scale on the left and the x range underneath.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 60,
+    height: int = 14,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more y-series against shared x values.
+
+    >>> print(ascii_chart([0, 1, 2], [("y", [0.0, 1.0, 2.0])], width=9,
+    ...                   height=3))  # doctest: +SKIP
+    """
+    if not xs:
+        raise AnalysisError("nothing to plot: empty x-axis")
+    if len(series) > len(MARKERS):
+        raise AnalysisError(f"at most {len(MARKERS)} series supported")
+    if width < 8 or height < 3:
+        raise AnalysisError("chart must be at least 8x3 characters")
+    for name, values in series:
+        if len(values) != len(xs):
+            raise AnalysisError(
+                f"series {name!r} has {len(values)} points for {len(xs)} xs"
+            )
+
+    all_y = [v for _name, values in series for v in values if v == v]
+    if not all_y:
+        raise AnalysisError("no finite values to plot")
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0  # flat series: give the band some height
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = round((x - x_min) / x_span * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return (height - 1 - row, col)
+
+    for index, (name, values) in enumerate(series):
+        marker = MARKERS[index]
+        for x, y in zip(xs, values):
+            if y != y:  # NaN
+                continue
+            row, col = cell(x, y)
+            grid[row][col] = marker
+
+    y_labels = [_fmt(y_max), _fmt((y_max + y_min) / 2), _fmt(y_min)]
+    label_width = max(len(label) for label in y_labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_labels[0]
+        elif row_index == height // 2:
+            label = y_labels[1]
+        elif row_index == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    x_left, x_right = _fmt(x_min), _fmt(x_max)
+    padding = width - len(x_left) - len(x_right)
+    lines.append(f"{' ' * label_width}  {x_left}{' ' * max(1, padding)}{x_right}")
+    legend = "   ".join(
+        f"{MARKERS[i]} {name}" for i, (name, _values) in enumerate(series)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    """Compact number formatting for axis labels."""
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 1000:
+        return f"{value:.3g}"
+    return f"{value:.2f}"

@@ -1,0 +1,107 @@
+"""Unit tests for AS-path algebra."""
+
+import pytest
+
+from repro.bgp import AsPath
+from repro.errors import ProtocolError
+
+
+class TestConstruction:
+    def test_empty_path(self):
+        path = AsPath.empty()
+        assert path.is_empty
+        assert len(path) == 0
+        assert path.head is None
+        assert path.origin is None
+
+    def test_basic_path(self):
+        path = AsPath((5, 4, 0))
+        assert len(path) == 3
+        assert path.head == 5
+        assert path.origin == 0
+        assert list(path) == [5, 4, 0]
+
+    def test_duplicate_ases_rejected(self):
+        with pytest.raises(ProtocolError):
+            AsPath((1, 2, 1))
+
+    def test_negative_asn_rejected(self):
+        with pytest.raises(ProtocolError):
+            AsPath((1, -2))
+
+    def test_value_equality_and_hash(self):
+        assert AsPath((1, 2)) == AsPath((1, 2))
+        assert AsPath((1, 2)) != AsPath((2, 1))
+        assert hash(AsPath((1, 2))) == hash(AsPath((1, 2)))
+
+    def test_repr_matches_paper_notation(self):
+        assert repr(AsPath((5, 4, 0))) == "(5 4 0)"
+
+
+class TestPrepend:
+    def test_prepend_puts_asn_at_head(self):
+        assert AsPath((4, 0)).prepend(5) == AsPath((5, 4, 0))
+
+    def test_prepend_existing_asn_rejected(self):
+        with pytest.raises(ProtocolError):
+            AsPath((4, 0)).prepend(4)
+
+    def test_prepend_to_empty(self):
+        assert AsPath.empty().prepend(0) == AsPath((0,))
+
+    def test_prepend_is_pure(self):
+        original = AsPath((4, 0))
+        original.prepend(5)
+        assert original == AsPath((4, 0))
+
+
+class TestContainment:
+    def test_contains(self):
+        path = AsPath((5, 4, 0))
+        assert 4 in path
+        assert 9 not in path
+
+    def test_contains_any(self):
+        path = AsPath((5, 4, 0))
+        assert path.contains_any([9, 4])
+        assert not path.contains_any([9, 8])
+        assert not path.contains_any([])
+
+
+class TestConcat:
+    def test_concat_is_paper_dot_operator(self):
+        # (c1 c2) . path(c2, old) with path(ck, old) = (7 0)
+        assert AsPath((1, 2)).concat(AsPath((7, 0))) == AsPath((1, 2, 7, 0))
+
+    def test_concat_with_empty(self):
+        path = AsPath((1, 2))
+        assert path.concat(AsPath.empty()) == path
+        assert AsPath.empty().concat(path) == path
+
+    def test_concat_overlapping_rejected(self):
+        with pytest.raises(ProtocolError):
+            AsPath((1, 2)).concat(AsPath((2, 3)))
+
+
+class TestSuffix:
+    def test_suffix_from_member(self):
+        assert AsPath((5, 4, 0)).suffix_from(4) == AsPath((4, 0))
+
+    def test_suffix_from_head_is_whole_path(self):
+        path = AsPath((5, 4, 0))
+        assert path.suffix_from(5) == path
+
+    def test_suffix_from_nonmember_is_none(self):
+        assert AsPath((5, 4, 0)).suffix_from(9) is None
+
+    def test_next_after(self):
+        path = AsPath((5, 4, 0))
+        assert path.next_after(5) == 4
+        assert path.next_after(0) is None
+        assert path.next_after(9) is None
+
+    def test_indexing(self):
+        path = AsPath((5, 4, 0))
+        assert path[0] == 5
+        assert path[-1] == 0
+        assert path[1:] == (4, 0)

@@ -1,0 +1,216 @@
+"""Tests for Gao-Rexford relationships and valley-free routing."""
+
+import pytest
+
+from repro.bgp import (
+    AsPath,
+    BgpConfig,
+    BgpSpeaker,
+    GaoRexfordPolicy,
+    Relationship,
+    Route,
+    is_valley_free,
+    relationships_from_tiers,
+)
+from repro.engine import RandomStreams, Scheduler
+from repro.errors import ProtocolError
+from repro.net import Network
+from repro.topology import Tier, Topology, internet_like_with_tiers
+
+PREFIX = "dest"
+C, P, E = Relationship.CUSTOMER, Relationship.PROVIDER, Relationship.PEER
+
+
+def route_via(neighbor, *tail, prefix=PREFIX):
+    return Route(prefix=prefix, path=AsPath((neighbor,) + tail), next_hop=neighbor)
+
+
+class TestPolicyRules:
+    @pytest.fixture
+    def policy(self):
+        # Neighbors: 1 is our customer, 2 a peer, 3 our provider.
+        return GaoRexfordPolicy({1: C, 2: E, 3: P})
+
+    def test_local_pref_prefers_customers(self, policy):
+        assert (
+            policy.local_pref(1, route_via(1, 0))
+            > policy.local_pref(2, route_via(2, 0))
+            > policy.local_pref(3, route_via(3, 0))
+        )
+
+    def test_customer_route_beats_shorter_provider_route(self, policy):
+        customer = route_via(1, 9, 8, 0)
+        customer = Route(
+            prefix=PREFIX,
+            path=customer.path,
+            next_hop=1,
+            local_pref=policy.local_pref(1, customer),
+        )
+        provider = route_via(3, 0)
+        provider = Route(
+            prefix=PREFIX,
+            path=provider.path,
+            next_hop=3,
+            local_pref=policy.local_pref(3, provider),
+        )
+        assert policy.preference_key(customer) < policy.preference_key(provider)
+
+    def test_customer_routes_exported_to_everyone(self, policy):
+        route = route_via(1, 0)
+        assert policy.accept_export(2, route)
+        assert policy.accept_export(3, route)
+
+    def test_peer_and_provider_routes_only_to_customers(self, policy):
+        for learned_from in (2, 3):
+            route = route_via(learned_from, 0)
+            assert policy.accept_export(1, route)       # to customer: yes
+            other = 3 if learned_from == 2 else 2
+            assert not policy.accept_export(other, route)
+
+    def test_own_routes_exported_to_everyone(self, policy):
+        from repro.bgp import local_route
+
+        route = local_route(PREFIX)
+        assert all(policy.accept_export(n, route) for n in (1, 2, 3))
+
+    def test_unknown_neighbor_raises(self, policy):
+        with pytest.raises(ProtocolError, match="no business relationship"):
+            policy.relationship(99)
+
+
+class TestRelationshipsFromTiers:
+    def test_tier_orientation(self):
+        topo = Topology.from_edges([(0, 1), (1, 2), (0, 3)])
+        tiers = {0: Tier.CORE, 1: Tier.TRANSIT, 2: Tier.STUB, 3: Tier.CORE}
+        rel = relationships_from_tiers(topo, tiers)
+        assert rel[0][1] == C          # core sees transit as customer
+        assert rel[1][0] == P
+        assert rel[1][2] == C          # transit sees stub as customer
+        assert rel[2][1] == P
+        assert rel[0][3] == E == rel[3][0]  # core-core peering
+
+    def test_transit_chain_orientation(self):
+        topo = Topology.from_edges([(4, 7)])
+        tiers = {4: Tier.TRANSIT, 7: Tier.TRANSIT}
+        rel = relationships_from_tiers(topo, tiers)
+        assert rel[4][7] == C  # smaller id is the provider
+        assert rel[7][4] == P
+
+    def test_missing_tier_rejected(self):
+        from repro.errors import ConfigError
+
+        topo = Topology.from_edges([(0, 1)])
+        with pytest.raises(ConfigError):
+            relationships_from_tiers(topo, {0: Tier.CORE})
+
+    def test_generated_graph_fully_covered(self):
+        topo, tiers = internet_like_with_tiers(30, seed=2)
+        rel = relationships_from_tiers(topo, tiers)
+        for u, v, _d in topo.edges():
+            assert v in rel[u] and u in rel[v]
+
+
+class TestValleyFree:
+    REL = {
+        # hierarchy: 0 (core) over 1, 2 (transit, peers of each other via
+        # their ranks being different ids doesn't apply here) over 3, 4.
+        0: {1: C, 2: C},
+        1: {0: P, 2: E, 3: C},
+        2: {0: P, 1: E, 4: C},
+        3: {1: P},
+        4: {2: P},
+    }
+
+    def test_uphill_then_downhill_ok(self):
+        # 3 -> 1 -> 0 -> 2 -> 4 (climb, cross the core, descend).
+        assert is_valley_free([4, 2, 0, 1, 3], self.REL)
+
+    def test_single_peering_step_ok(self):
+        # 3 -> 1 -> 2 -> 4 (climb, one peer edge, descend).
+        assert is_valley_free([4, 2, 1, 3], self.REL)
+
+    def test_valley_rejected(self):
+        # Announcement direction: 0 -> 1 (down to customer), then 1 -> 2
+        # (peer edge after descending) — a classic valley.
+        assert not is_valley_free([2, 1, 0], self.REL)
+
+    def test_ascend_after_peering_is_a_valley(self):
+        # Announcement: 3 -> 1 (up), 1 -> 2 (peer), 2 -> 0 (up after peer).
+        assert not is_valley_free([0, 2, 1, 3], self.REL)
+
+    def test_double_peering_rejected(self):
+        rel = {
+            1: {2: E}, 2: {1: E, 3: E}, 3: {2: E},
+        }
+        assert not is_valley_free([3, 2, 1], rel)
+
+    def test_trivial_paths(self):
+        assert is_valley_free([5], self.REL)
+        assert is_valley_free([], self.REL)
+
+
+class TestGaoRexfordConvergence:
+    """End-to-end: a tiered AS graph under Gao-Rexford policies converges
+    to all-reachable, valley-free routing."""
+
+    def converge(self, n=24, seed=3):
+        from repro.topology import InternetShape
+
+        # Gao-Rexford semantics require a fully-meshed tier-1 core: peer
+        # routes are never re-exported to peers, so a partially-meshed core
+        # can legitimately strand far-side core nodes.
+        shape = InternetShape(core_mesh_probability=1.0)
+        topo, tiers = internet_like_with_tiers(n, seed=seed, shape=shape)
+        relationships = relationships_from_tiers(topo, tiers)
+        scheduler = Scheduler()
+        streams = RandomStreams(seed)
+        config = BgpConfig(mrai=2.0, processing_delay=(0.01, 0.05))
+
+        def factory(nid, sch):
+            return BgpSpeaker(
+                nid,
+                sch,
+                config=config,
+                streams=streams,
+                policy=GaoRexfordPolicy(relationships[nid]),
+            )
+
+        network = Network(topo, scheduler, factory)
+        origin = max(topo.nodes)  # a stub AS originates
+        network.node(origin).originate(PREFIX)
+        network.start()
+        scheduler.run(max_events=500_000)
+        return network, relationships, origin
+
+    def test_all_nodes_reach_the_stub_destination(self):
+        network, _rel, origin = self.converge()
+        for nid, node in network.nodes.items():
+            assert node.best_route(PREFIX) is not None, f"node {nid} unreachable"
+            node.check_invariants()
+
+    def test_every_selected_path_is_valley_free(self):
+        network, relationships, _origin = self.converge()
+        for nid, node in network.nodes.items():
+            path = node.full_path(PREFIX)
+            assert path is not None
+            assert is_valley_free(list(path), relationships), (
+                f"node {nid} selected non-valley-free path {path!r}"
+            )
+
+    def test_customer_routes_win_over_shorter_provider_routes(self):
+        network, relationships, _origin = self.converge()
+        from repro.bgp import Relationship
+
+        for nid, node in network.nodes.items():
+            best = node.best_route(PREFIX)
+            if best is None or best.is_local:
+                continue
+            best_rel = relationships[nid][best.next_hop]
+            if best_rel is Relationship.CUSTOMER:
+                continue
+            # If the best is a peer/provider route, no customer route may
+            # exist in the Adj-RIB-In.
+            for neighbor, route in node.adj_rib_in.entries():
+                if route.prefix != PREFIX:
+                    continue
+                assert relationships[nid][neighbor] is not Relationship.CUSTOMER

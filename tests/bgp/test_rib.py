@@ -1,0 +1,114 @@
+"""Unit tests for the three RIBs."""
+
+import pytest
+
+from repro.bgp import NOTHING_SENT, AdjRibIn, AdjRibOut, AsPath, LocRib, Route
+
+
+def route_via(neighbor, *path_tail, prefix="d"):
+    return Route(prefix=prefix, path=AsPath((neighbor,) + path_tail), next_hop=neighbor)
+
+
+class TestAdjRibIn:
+    def test_put_get(self):
+        rib = AdjRibIn()
+        rib.put(5, route_via(5, 0))
+        assert rib.get(5, "d") == route_via(5, 0)
+        assert rib.get(5, "x") is None
+        assert rib.get(9, "d") is None
+
+    def test_put_replaces(self):
+        rib = AdjRibIn()
+        rib.put(5, route_via(5, 0))
+        rib.put(5, route_via(5, 4, 0))
+        assert rib.get(5, "d") == route_via(5, 4, 0)
+        assert len(rib) == 1
+
+    def test_remove(self):
+        rib = AdjRibIn()
+        rib.put(5, route_via(5, 0))
+        assert rib.remove(5, "d") == route_via(5, 0)
+        assert rib.remove(5, "d") is None
+        assert len(rib) == 0
+
+    def test_drop_neighbor_returns_affected_prefixes(self):
+        rib = AdjRibIn()
+        rib.put(5, route_via(5, 0, prefix="a"))
+        rib.put(5, route_via(5, 0, prefix="b"))
+        rib.put(6, route_via(6, 0, prefix="a"))
+        assert rib.drop_neighbor(5) == ["a", "b"]
+        assert rib.get(5, "a") is None
+        assert rib.get(6, "a") is not None
+
+    def test_candidates_in_neighbor_order(self):
+        rib = AdjRibIn()
+        rib.put(9, route_via(9, 0))
+        rib.put(2, route_via(2, 0))
+        assert [r.next_hop for r in rib.candidates("d")] == [2, 9]
+
+    def test_neighbors_with(self):
+        rib = AdjRibIn()
+        rib.put(9, route_via(9, 0))
+        rib.put(2, route_via(2, 0, prefix="other"))
+        assert rib.neighbors_with("d") == [9]
+
+    def test_entries_iteration(self):
+        rib = AdjRibIn()
+        rib.put(5, route_via(5, 0, prefix="b"))
+        rib.put(5, route_via(5, 0, prefix="a"))
+        rib.put(3, route_via(3, 0, prefix="a"))
+        pairs = [(n, r.prefix) for n, r in rib.entries()]
+        assert pairs == [(3, "a"), (5, "a"), (5, "b")]
+
+
+class TestLocRib:
+    def test_set_get_remove(self):
+        rib = LocRib()
+        rib.set(route_via(5, 0))
+        assert rib.get("d") == route_via(5, 0)
+        assert "d" in rib
+        assert rib.remove("d") == route_via(5, 0)
+        assert rib.get("d") is None
+        assert rib.remove("d") is None
+
+    def test_prefixes_sorted(self):
+        rib = LocRib()
+        rib.set(route_via(5, 0, prefix="z"))
+        rib.set(route_via(5, 0, prefix="a"))
+        assert rib.prefixes() == ["a", "z"]
+        assert len(rib) == 2
+
+
+class TestAdjRibOut:
+    def test_nothing_sent_initially(self):
+        rib = AdjRibOut()
+        assert rib.last_sent(5, "d") == NOTHING_SENT
+        assert rib.last_sent(5, "d").is_withdrawn
+
+    def test_record_announcement(self):
+        rib = AdjRibOut()
+        rib.record_announcement(5, "d", AsPath((1, 0)))
+        state = rib.last_sent(5, "d")
+        assert not state.is_withdrawn
+        assert state.path == AsPath((1, 0))
+
+    def test_withdrawal_equals_nothing_sent(self):
+        """Explicit withdrawal and never-sent must compare equal: in both
+        cases the peer holds nothing from us (duplicate suppression)."""
+        rib = AdjRibOut()
+        rib.record_announcement(5, "d", AsPath((1, 0)))
+        rib.record_withdrawal(5, "d")
+        assert rib.last_sent(5, "d") == NOTHING_SENT
+
+    def test_drop_neighbor(self):
+        rib = AdjRibOut()
+        rib.record_announcement(5, "d", AsPath((1, 0)))
+        rib.drop_neighbor(5)
+        assert rib.last_sent(5, "d") == NOTHING_SENT
+
+    def test_advertised_prefixes_excludes_withdrawn(self):
+        rib = AdjRibOut()
+        rib.record_announcement(5, "a", AsPath((1, 0)))
+        rib.record_announcement(5, "b", AsPath((1, 0)))
+        rib.record_withdrawal(5, "b")
+        assert rib.advertised_prefixes(5) == ["a"]

@@ -1,0 +1,42 @@
+"""Unit tests for Route."""
+
+import pytest
+
+from repro.bgp import AsPath, Route, local_route
+
+
+class TestValidation:
+    def test_stored_path_must_start_at_next_hop(self):
+        with pytest.raises(ValueError):
+            Route(prefix="d", path=AsPath((5, 0)), next_hop=4)
+
+    def test_non_local_route_needs_next_hop(self):
+        with pytest.raises(ValueError):
+            Route(prefix="d", path=AsPath((5, 0)), next_hop=None)
+
+    def test_valid_learned_route(self):
+        route = Route(prefix="d", path=AsPath((5, 0)), next_hop=5)
+        assert not route.is_local
+        assert route.hop_count == 2
+
+    def test_local_route_helper(self):
+        route = local_route("d")
+        assert route.is_local
+        assert route.hop_count == 0
+        assert route.path.is_empty
+
+
+class TestBehavior:
+    def test_advertised_by_prepends(self):
+        route = Route(prefix="d", path=AsPath((5, 0)), next_hop=5)
+        assert route.advertised_by(7) == AsPath((7, 5, 0))
+
+    def test_equality_ignores_learned_at(self):
+        a = Route(prefix="d", path=AsPath((5, 0)), next_hop=5, learned_at=1.0)
+        b = Route(prefix="d", path=AsPath((5, 0)), next_hop=5, learned_at=9.0)
+        assert a == b
+
+    def test_equality_respects_local_pref(self):
+        a = Route(prefix="d", path=AsPath((5, 0)), next_hop=5, local_pref=100)
+        b = Route(prefix="d", path=AsPath((5, 0)), next_hop=5, local_pref=200)
+        assert a != b

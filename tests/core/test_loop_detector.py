@@ -1,0 +1,103 @@
+"""Unit tests for forwarding-loop detection."""
+
+import pytest
+
+from repro.core import (
+    find_loops,
+    is_loop_free,
+    longest_loop_duration,
+    loop_size_histogram,
+    loop_timeline,
+    nodes_in_loops,
+)
+from repro.core.loop_detector import LoopInterval
+from repro.dataplane import FibChangeLog, ForwardingGraph
+from repro.errors import AnalysisError
+
+P = "dest"
+
+
+class TestFindLoops:
+    def test_tree_is_loop_free(self):
+        graph = ForwardingGraph({0: 0, 1: 0, 2: 0, 3: 1})
+        assert find_loops(graph) == []
+        assert is_loop_free(graph)
+
+    def test_two_node_loop(self):
+        graph = ForwardingGraph({5: 6, 6: 5})
+        assert find_loops(graph) == [(5, 6)]
+
+    def test_long_loop(self):
+        graph = ForwardingGraph({1: 2, 2: 3, 3: 1})
+        assert find_loops(graph) == [(1, 2, 3)]
+
+    def test_multiple_disjoint_loops(self):
+        graph = ForwardingGraph({1: 2, 2: 1, 7: 8, 8: 9, 9: 7})
+        assert find_loops(graph) == [(1, 2), (7, 8, 9)]
+
+    def test_tail_into_loop_not_in_cycle(self):
+        graph = ForwardingGraph({0: 1, 1: 2, 2: 1})
+        assert find_loops(graph) == [(1, 2)]
+        assert nodes_in_loops(graph) == [1, 2]
+
+    def test_local_delivery_is_not_a_loop(self):
+        graph = ForwardingGraph({0: 0, 1: 0})
+        assert find_loops(graph) == []
+
+    def test_no_route_entries_ignored(self):
+        graph = ForwardingGraph({1: None, 2: 1})
+        assert find_loops(graph) == []
+
+    def test_each_loop_reported_once(self):
+        # Many tails into one loop must not duplicate it.
+        graph = ForwardingGraph({1: 2, 2: 1, 3: 1, 4: 2, 5: 4})
+        assert find_loops(graph) == [(1, 2)]
+
+
+class TestLoopTimeline:
+    def make_log(self):
+        """Loop (1,2) alive over [1, 4); loop (3,4) alive over [2, 6)."""
+        log = FibChangeLog()
+        log.record(0.0, 0, P, 0)
+        log.record(1.0, 1, P, 2)
+        log.record(1.0, 2, P, 1)
+        log.record(2.0, 3, P, 4)
+        log.record(2.0, 4, P, 3)
+        log.record(4.0, 1, P, 0)
+        log.record(6.0, 4, P, 0)
+        return log
+
+    def test_intervals(self):
+        intervals = loop_timeline(self.make_log(), P, 0.0, 10.0)
+        by_cycle = {i.cycle: (i.start, i.end) for i in intervals}
+        assert by_cycle == {(1, 2): (1.0, 4.0), (3, 4): (2.0, 6.0)}
+
+    def test_open_loop_clipped_to_window_end(self):
+        log = FibChangeLog()
+        log.record(1.0, 1, P, 2)
+        log.record(1.0, 2, P, 1)
+        intervals = loop_timeline(log, P, 0.0, 5.0)
+        assert intervals == [LoopInterval(cycle=(1, 2), start=1.0, end=5.0)]
+
+    def test_reforming_loop_gets_two_intervals(self):
+        log = FibChangeLog()
+        log.record(1.0, 1, P, 2)
+        log.record(1.0, 2, P, 1)
+        log.record(2.0, 1, P, None)   # loop dies
+        log.record(3.0, 1, P, 2)      # same loop re-forms
+        log.record(4.0, 1, P, None)
+        intervals = loop_timeline(log, P, 0.0, 5.0)
+        assert [(i.start, i.end) for i in intervals] == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_empty_window(self):
+        assert loop_timeline(self.make_log(), P, 3.0, 3.0) == []
+
+    def test_backwards_window_raises(self):
+        with pytest.raises(AnalysisError):
+            loop_timeline(self.make_log(), P, 5.0, 1.0)
+
+    def test_helpers(self):
+        intervals = loop_timeline(self.make_log(), P, 0.0, 10.0)
+        assert longest_loop_duration(intervals) == 4.0
+        assert loop_size_histogram(intervals) == {2: 2}
+        assert longest_loop_duration([]) == 0.0

@@ -1,0 +1,115 @@
+"""Unit tests for the machine-checkable observations."""
+
+import pytest
+
+from repro.core import (
+    check_duration_coupling,
+    check_enhancement_ranking,
+    check_linear_in_mrai,
+    check_ratio_constant,
+    check_wrate_regression,
+)
+from repro.errors import AnalysisError
+
+
+class TestObs1Coupling:
+    def test_tight_coupling_holds(self):
+        check = check_duration_coupling([95, 190], [100, 200])
+        assert check.holds
+
+    def test_large_gap_fails(self):
+        check = check_duration_coupling([10, 20], [100, 200])
+        assert not check.holds
+
+    def test_zero_convergence_runs_skipped(self):
+        check = check_duration_coupling([0, 95], [0, 100])
+        assert check.holds
+
+    def test_all_zero_is_vacuous_failure(self):
+        check = check_duration_coupling([0], [0])
+        assert not check.holds
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            check_duration_coupling([1], [1, 2])
+
+
+class TestLinearInMrai:
+    def test_perfect_line_holds(self):
+        check = check_linear_in_mrai([5, 10, 20, 30], [50, 100, 200, 300])
+        assert check.holds
+
+    def test_noisy_line_holds(self):
+        check = check_linear_in_mrai([5, 10, 20, 30], [52, 96, 205, 295])
+        assert check.holds
+
+    def test_flat_series_fails(self):
+        check = check_linear_in_mrai([5, 10, 20, 30], [100, 100, 100, 100])
+        assert not check.holds  # slope must be positive
+
+    def test_negative_slope_fails(self):
+        check = check_linear_in_mrai([5, 10, 20], [300, 200, 100])
+        assert not check.holds
+
+
+class TestObs2RatioConstant:
+    def test_flat_ratio_holds(self):
+        assert check_ratio_constant([0.65, 0.66, 0.64, 0.65]).holds
+
+    def test_wild_ratio_fails(self):
+        assert not check_ratio_constant([0.1, 0.9, 0.2, 0.8]).holds
+
+    def test_empty_input_raises(self):
+        with pytest.raises(AnalysisError):
+            check_ratio_constant([])
+
+
+class TestObs3Ranking:
+    def metrics(self, **overrides):
+        base = {
+            "standard": 1000.0,
+            "ssld": 900.0,
+            "wrate": 1100.0,
+            "assertion": 300.0,
+            "ghost-flushing": 150.0,
+        }
+        base.update(overrides)
+        return base
+
+    def test_paper_shape_holds(self):
+        checks = check_enhancement_ranking(self.metrics())
+        assert all(check.holds for check in checks)
+
+    def test_ineffective_assertion_fails(self):
+        checks = check_enhancement_ranking(self.metrics(assertion=950.0))
+        failed = [c for c in checks if not c.holds]
+        assert any("assertion" in c.name for c in failed)
+
+    def test_regressing_ssld_fails(self):
+        checks = check_enhancement_ranking(self.metrics(ssld=1500.0))
+        failed = [c for c in checks if not c.holds]
+        assert any("ssld" in c.name for c in failed)
+
+    def test_missing_variant_raises(self):
+        with pytest.raises(AnalysisError, match="missing variants"):
+            check_enhancement_ranking({"standard": 1.0})
+
+    def test_loop_free_standard_is_inconclusive(self):
+        checks = check_enhancement_ranking(self.metrics(standard=0.0))
+        assert len(checks) == 1 and not checks[0].holds
+
+
+class TestWrateRegression:
+    def test_regression_detected(self):
+        assert check_wrate_regression(100.0, 1000.0).holds
+
+    def test_improvement_fails_the_check(self):
+        assert not check_wrate_regression(100.0, 50.0).holds
+
+    def test_zero_baseline_inconclusive(self):
+        assert not check_wrate_regression(0.0, 50.0).holds
+
+    def test_str_rendering(self):
+        check = check_wrate_regression(100.0, 1000.0)
+        assert "HOLDS" in str(check)
+        assert "VIOLATED" in str(check_wrate_regression(100.0, 50.0))

@@ -1,0 +1,86 @@
+"""Tests for delivered-hop (delay) tracking in both data-plane engines."""
+
+import pytest
+
+from repro.dataplane import (
+    CbrSource,
+    DataPlaneReport,
+    EpochEvaluator,
+    FibChangeLog,
+    PacketForwarder,
+)
+from repro.topology import chain
+
+P = "dest"
+
+
+class TestReportAccounting:
+    def test_record_delivery_accumulates(self):
+        report = DataPlaneReport(window=(0.0, 1.0))
+        report.record_delivery(hops=2, count=3)
+        report.record_delivery(hops=5)
+        assert report.delivered == 4
+        assert report.delivered_hops == {2: 3, 5: 1}
+        assert report.mean_delivered_hops == pytest.approx((2 * 3 + 5) / 4)
+        assert report.max_delivered_hops() == 5
+
+    def test_empty_report(self):
+        report = DataPlaneReport(window=(0.0, 1.0))
+        assert report.mean_delivered_hops == 0.0
+        assert report.max_delivered_hops() == 0
+
+
+class TestEpochEvaluatorHops:
+    def test_hop_counts_match_path_lengths(self):
+        log = FibChangeLog()
+        log.record(0.0, 0, P, 0)
+        log.record(0.0, 1, P, 0)
+        log.record(0.0, 2, P, 1)
+        sources = [CbrSource(node=1, rate=10.0), CbrSource(node=2, rate=10.0)]
+        report = EpochEvaluator(log, P, sources).evaluate(0.0, 1.0)
+        assert report.delivered_hops == {1: 10, 2: 10}
+        assert report.mean_delivered_hops == pytest.approx(1.5)
+
+    def test_detour_epoch_raises_mean_hops(self):
+        """First epoch routes 1 the long way round; second directly."""
+        log = FibChangeLog()
+        log.record(0.0, 0, P, 0)
+        log.record(0.0, 1, P, 2)
+        log.record(0.0, 2, P, 3)
+        log.record(0.0, 3, P, 0)
+        log.record(5.0, 1, P, 0)
+        source = [CbrSource(node=1, rate=10.0)]
+        detour = EpochEvaluator(log, P, source).evaluate(0.0, 5.0)
+        direct = EpochEvaluator(log, P, source).evaluate(5.0, 10.0)
+        assert detour.mean_delivered_hops == pytest.approx(3.0)
+        assert direct.mean_delivered_hops == pytest.approx(1.0)
+
+    def test_hops_conservation(self):
+        log = FibChangeLog()
+        log.record(0.0, 0, P, 0)
+        log.record(0.0, 1, P, 0)
+        report = EpochEvaluator(log, P, [CbrSource(node=1, rate=7.0)]).evaluate(
+            0.0, 3.0
+        )
+        assert sum(report.delivered_hops.values()) == report.delivered
+
+
+class TestForwarderHops:
+    def test_event_driven_hop_counts(self, scheduler):
+        topo = chain(4)
+        fib = {0: 0, 1: 0, 2: 1, 3: 2}
+        forwarder = PacketForwarder(scheduler, topo, fib.get, ttl=16)
+        forwarder.launch([CbrSource(node=3, rate=5.0)], 0.0, 1.0)
+        scheduler.run()
+        assert forwarder.report.delivered_hops == {3: 5}
+        assert forwarder.report.mean_delivered_hops == pytest.approx(3.0)
+
+    def test_mid_flight_redirection_counts_actual_hops(self, scheduler):
+        """A packet redirected mid-flight logs the hops it really took."""
+        topo = chain(3)
+        fib = {0: 0, 1: None, 2: 1}
+        forwarder = PacketForwarder(scheduler, topo, lambda n: fib.get(n), ttl=16)
+        forwarder.launch([CbrSource(node=2, rate=1.0)], 0.0, 1.0)
+        scheduler.call_at(0.001, lambda: fib.__setitem__(1, 0))
+        scheduler.run()
+        assert forwarder.report.delivered_hops == {2: 1}

@@ -1,0 +1,103 @@
+"""Unit tests for the epoch-based data-plane evaluator."""
+
+import pytest
+
+from repro.dataplane import CbrSource, EpochEvaluator, FibChangeLog
+from repro.errors import AnalysisError
+
+P = "dest"
+
+
+def make_log(changes):
+    log = FibChangeLog()
+    for time, node, next_hop in changes:
+        log.record(time, node, P, next_hop)
+    return log
+
+
+def evaluator(log, sources, ttl=128, hop_delay=0.002):
+    return EpochEvaluator(log, P, sources, ttl=ttl, hop_delay=hop_delay)
+
+
+class TestStableRouting:
+    def test_all_delivered_on_stable_tree(self):
+        log = make_log([(0.0, 0, 0), (0.0, 1, 0), (0.0, 2, 1)])
+        sources = [CbrSource(node=1, rate=10.0), CbrSource(node=2, rate=10.0)]
+        report = evaluator(log, sources).evaluate(0.0, 10.0)
+        assert report.packets_sent == 200
+        assert report.delivered == 200
+        assert report.ttl_exhaustions == 0
+        assert report.looping_ratio == 0.0
+        assert report.overall_looping_duration == 0.0
+        assert report.delivery_ratio == 1.0
+
+    def test_unrouted_source_drops(self):
+        log = make_log([(0.0, 0, 0)])
+        report = evaluator(log, [CbrSource(node=5, rate=10.0)]).evaluate(0.0, 1.0)
+        assert report.dropped_no_route == 10
+
+
+class TestLoopAccounting:
+    def test_loop_epoch_counts_exhaustions(self):
+        # 1<->2 loop for t in [0, 5); then 1 -> 0 (delivery) afterwards.
+        log = make_log(
+            [(0.0, 0, 0), (0.0, 1, 2), (0.0, 2, 1), (5.0, 1, 0)]
+        )
+        source = CbrSource(node=2, rate=10.0)
+        report = evaluator(log, [source]).evaluate(0.0, 10.0)
+        assert report.packets_sent == 100
+        assert report.ttl_exhaustions == 50   # packets sent in [0, 5)
+        assert report.delivered == 50
+        assert report.looping_ratio == pytest.approx(0.5)
+
+    def test_exhaustion_timestamps_span_loop_lifetime(self):
+        log = make_log(
+            [(0.0, 0, 0), (0.0, 1, 2), (0.0, 2, 1), (5.0, 1, 0)]
+        )
+        source = CbrSource(node=2, rate=10.0)
+        report = evaluator(log, [source], ttl=128, hop_delay=0.002).evaluate(0.0, 10.0)
+        death_offset = 128 * 0.002
+        assert report.first_exhaustion == pytest.approx(0.0 + death_offset)
+        assert report.last_exhaustion == pytest.approx(4.9 + death_offset)
+        assert report.overall_looping_duration == pytest.approx(4.9)
+
+    def test_loop_sightings_aggregated(self):
+        log = make_log(
+            [(0.0, 0, 0), (0.0, 1, 2), (0.0, 2, 1), (5.0, 1, 0)]
+        )
+        sources = [CbrSource(node=1, rate=10.0), CbrSource(node=2, rate=10.0)]
+        report = evaluator(log, sources).evaluate(0.0, 10.0)
+        loops = report.distinct_loops()
+        assert len(loops) == 1
+        assert loops[0].cycle == (1, 2)
+        assert loops[0].packets_lost == 100
+        assert loops[0].size == 2
+        assert loops[0].observed_duration > 0
+
+    def test_per_source_exhaustions(self):
+        log = make_log([(0.0, 1, 2), (0.0, 2, 1)])
+        sources = [CbrSource(node=1, rate=10.0), CbrSource(node=2, rate=5.0)]
+        report = evaluator(log, sources).evaluate(0.0, 2.0)
+        assert report.per_source_exhaustions == {1: 20, 2: 10}
+
+
+class TestWindows:
+    def test_empty_window_counts_nothing(self):
+        log = make_log([(0.0, 1, 2), (0.0, 2, 1)])
+        report = evaluator(log, [CbrSource(node=1)]).evaluate(5.0, 5.0)
+        assert report.packets_sent == 0
+        assert report.looping_ratio == 0.0
+
+    def test_backwards_window_raises(self):
+        log = make_log([(0.0, 1, 0)])
+        with pytest.raises(AnalysisError):
+            evaluator(log, [CbrSource(node=1)]).evaluate(5.0, 1.0)
+
+    def test_no_sources_rejected(self):
+        with pytest.raises(AnalysisError):
+            evaluator(make_log([]), [])
+
+    def test_counts_respect_window_boundaries(self):
+        log = make_log([(0.0, 0, 0), (0.0, 1, 0)])
+        report = evaluator(log, [CbrSource(node=1, rate=10.0)]).evaluate(2.0, 3.0)
+        assert report.packets_sent == 10

@@ -1,0 +1,91 @@
+"""Unit tests for scenario construction."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    EventKind,
+    Scenario,
+    custom_tdown,
+    custom_tlong,
+    tdown_clique,
+    tdown_internet,
+    tlong_bclique,
+    tlong_internet,
+)
+from repro.topology import chain, clique
+
+
+class TestValidation:
+    def test_destination_must_exist(self):
+        with pytest.raises(ConfigError):
+            Scenario(name="x", topology=clique(3), destination=9, event=EventKind.TDOWN)
+
+    def test_tlong_requires_failed_link(self):
+        with pytest.raises(ConfigError, match="must name the link"):
+            Scenario(name="x", topology=clique(3), destination=0, event=EventKind.TLONG)
+
+    def test_tlong_link_must_exist(self):
+        with pytest.raises(ConfigError):
+            Scenario(
+                name="x",
+                topology=clique(3),
+                destination=0,
+                event=EventKind.TLONG,
+                failed_link=(0, 9),
+            )
+
+    def test_tlong_rejects_cut_edges(self):
+        with pytest.raises(ConfigError, match="cut edge"):
+            custom_tlong(chain(3), destination=0, failed_link=(0, 1))
+
+    def test_tdown_rejects_failed_link(self):
+        with pytest.raises(ConfigError):
+            Scenario(
+                name="x",
+                topology=clique(3),
+                destination=0,
+                event=EventKind.TDOWN,
+                failed_link=(0, 1),
+            )
+
+
+class TestFamilies:
+    def test_tdown_clique(self):
+        scenario = tdown_clique(6)
+        assert scenario.event is EventKind.TDOWN
+        assert scenario.destination == 0
+        assert scenario.topology.num_nodes == 6
+        assert scenario.source_nodes == [1, 2, 3, 4, 5]
+
+    def test_tlong_bclique_fails_edge_to_core_link(self):
+        scenario = tlong_bclique(5)
+        assert scenario.event is EventKind.TLONG
+        assert scenario.failed_link == (0, 5)
+        assert scenario.destination == 0
+
+    def test_tdown_internet_destination_is_low_degree(self):
+        scenario = tdown_internet(29, seed=1)
+        topo = scenario.topology
+        assert topo.degree(scenario.destination) == min(
+            topo.degree(n) for n in topo.nodes
+        )
+
+    def test_tlong_internet_is_well_formed(self):
+        scenario = tlong_internet(29, seed=1)
+        assert scenario.event is EventKind.TLONG
+        u, v = scenario.failed_link
+        assert u == scenario.destination
+        assert scenario.topology.has_edge(u, v)
+        assert not scenario.topology.is_cut_edge(u, v)
+
+    def test_tlong_internet_deterministic_per_seed(self):
+        a = tlong_internet(29, seed=5)
+        b = tlong_internet(29, seed=5)
+        assert a.destination == b.destination
+        assert a.failed_link == b.failed_link
+
+    def test_custom_tdown(self):
+        scenario = custom_tdown(chain(4), destination=3)
+        assert scenario.event is EventKind.TDOWN
+        assert scenario.destination == 3

@@ -1,0 +1,73 @@
+"""Tests for sweeps and aggregation."""
+
+import pytest
+
+from repro.bgp import BgpConfig
+from repro.errors import AnalysisError
+from repro.experiments import RunSettings, series, sweep, tdown_clique, xs_of
+
+FAST = BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05))
+SETTINGS = RunSettings(failure_guard=0.5)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep(
+        [3, 4],
+        lambda x, seed: tdown_clique(int(x)),
+        lambda x: FAST,
+        seeds=(0, 1),
+        settings=SETTINGS,
+    )
+
+
+class TestSweep:
+    def test_one_point_per_x(self, points):
+        assert xs_of(points) == [3, 4]
+
+    def test_trials_per_point(self, points):
+        assert all(len(point.runs) == 2 for point in points)
+
+    def test_series_extraction(self, points):
+        conv = series(points, "convergence_time")
+        assert len(conv) == 2
+        assert all(value > 0 for value in conv)
+
+    def test_mean_metric_is_trial_mean(self, points):
+        point = points[0]
+        values = [r.summary_row()["convergence_time"] for r in point.results]
+        assert point.mean_metric("convergence_time") == pytest.approx(
+            sum(values) / len(values)
+        )
+
+    def test_metrics_dict(self, points):
+        metrics = points[0].metrics()
+        assert "looping_ratio" in metrics and "ttl_exhaustions" in metrics
+
+    def test_config_factory_receives_x(self):
+        seen = []
+
+        def make_config(x):
+            seen.append(x)
+            return FAST
+
+        sweep(
+            [3],
+            lambda x, seed: tdown_clique(int(x)),
+            make_config,
+            seeds=(0,),
+            settings=SETTINGS,
+        )
+        assert seen == [3]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep([], lambda x, s: tdown_clique(3), lambda x: FAST)
+        with pytest.raises(AnalysisError):
+            sweep([3], lambda x, s: tdown_clique(3), lambda x: FAST, seeds=())
+
+    def test_empty_point_raises_on_aggregation(self):
+        from repro.experiments import SweepPoint
+
+        with pytest.raises(AnalysisError):
+            SweepPoint(x=1.0).mean_metric("convergence_time")

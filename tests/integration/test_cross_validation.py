@@ -1,0 +1,107 @@
+"""Cross-validation: epoch evaluator vs event-driven packet forwarder.
+
+The epoch evaluator is exact under the quasi-static assumption (forwarding
+graphs change slowly relative to a packet's flight time).  Here both engines
+measure the *same* simulation over the same fixed window and must agree on
+packet counts — with a small tolerance for packets that were mid-flight
+while the routing state changed, which only the event-driven engine sees.
+"""
+
+import pytest
+
+from repro.bgp import BgpConfig
+from repro.dataplane import EpochEvaluator, PacketForwarder, sources_for
+from repro.experiments import RunSettings, run_experiment, tdown_clique, tlong_bclique
+
+WINDOW = 25.0  # fixed measurement window after the failure
+TTL = 32
+RATE = 20.0
+
+
+def cross_validate(scenario, seed):
+    config = BgpConfig(mrai=2.0, processing_delay=(0.1, 0.3))
+    settings = RunSettings(packet_rate=RATE, ttl=TTL, failure_guard=0.5)
+    captured = {}
+
+    def attach_forwarder(network, failure_time):
+        sources = sources_for(
+            scenario.topology.nodes, scenario.destination, rate=RATE
+        )
+        forwarder = PacketForwarder(
+            network.scheduler,
+            scenario.topology,
+            lambda node: network.nodes[node].fib.get(scenario.prefix),
+            ttl=TTL,
+        )
+        forwarder.launch(sources, failure_time, failure_time + WINDOW)
+        captured["forwarder"] = forwarder
+        captured["sources"] = sources
+        captured["failure_time"] = failure_time
+
+    run = run_experiment(
+        scenario,
+        config,
+        settings=settings,
+        seed=seed,
+        on_network_ready=attach_forwarder,
+    )
+    start = captured["failure_time"]
+    epoch_report = EpochEvaluator(
+        run.fib_log, scenario.prefix, captured["sources"], ttl=TTL
+    ).evaluate(start, start + WINDOW)
+    return epoch_report, captured["forwarder"].report
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_clique_tdown_agreement(seed):
+    epoch, exact = cross_validate(tdown_clique(5), seed)
+    assert epoch.packets_sent == exact.packets_sent
+    tolerance = max(3, int(0.02 * epoch.packets_sent))
+    assert abs(epoch.ttl_exhaustions - exact.ttl_exhaustions) <= tolerance
+    assert abs(epoch.delivered - exact.delivered) <= tolerance
+    assert abs(epoch.dropped_no_route - exact.dropped_no_route) <= tolerance
+
+
+def test_bclique_tlong_agreement():
+    epoch, exact = cross_validate(tlong_bclique(4), seed=2)
+    assert epoch.packets_sent == exact.packets_sent
+    tolerance = max(3, int(0.02 * epoch.packets_sent))
+    assert abs(epoch.ttl_exhaustions - exact.ttl_exhaustions) <= tolerance
+    assert abs(epoch.delivered - exact.delivered) <= tolerance
+
+
+def test_stable_network_full_agreement():
+    """With no failure in the window the two engines must agree exactly."""
+    from repro.engine import RandomStreams, Scheduler
+    from repro.net import Network
+    from repro.bgp import BgpSpeaker
+    from repro.dataplane import FibChangeLog
+    from repro.topology import clique
+
+    scheduler = Scheduler()
+    streams = RandomStreams(3)
+    log = FibChangeLog()
+    config = BgpConfig(mrai=2.0, processing_delay=(0.01, 0.05))
+    network = Network(
+        clique(4),
+        scheduler,
+        lambda nid, sch: BgpSpeaker(
+            nid, sch, config=config, streams=streams, fib_listener=log.record
+        ),
+    )
+    network.node(0).originate("dest")
+    network.start()
+    scheduler.run(max_events=100_000)
+
+    start = scheduler.now
+    sources = sources_for([0, 1, 2, 3], 0, rate=RATE)
+    forwarder = PacketForwarder(
+        scheduler, clique(4), lambda n: network.nodes[n].fib.get("dest"), ttl=TTL
+    )
+    forwarder.launch(sources, start, start + 5.0)
+    scheduler.run()
+
+    epoch = EpochEvaluator(log, "dest", sources, ttl=TTL).evaluate(start, start + 5.0)
+    assert epoch.packets_sent == forwarder.report.packets_sent
+    assert epoch.delivered == forwarder.report.delivered == epoch.packets_sent
+    assert epoch.ttl_exhaustions == forwarder.report.ttl_exhaustions == 0

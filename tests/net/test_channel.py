@@ -1,0 +1,87 @@
+"""Unit tests for repro.net.channel."""
+
+import pytest
+
+from repro.engine import Scheduler
+from repro.errors import NetworkError
+from repro.net import Channel
+
+
+@pytest.fixture
+def inbox():
+    return []
+
+
+@pytest.fixture
+def channel(scheduler, inbox):
+    return Channel(
+        scheduler, src=1, dst=2, delay=0.5,
+        deliver=lambda src, msg: inbox.append((scheduler.now, src, msg)),
+    )
+
+
+class TestDelivery:
+    def test_message_arrives_after_delay(self, scheduler, channel, inbox):
+        channel.send("hello")
+        scheduler.run()
+        assert inbox == [(0.5, 1, "hello")]
+
+    def test_fifo_order(self, scheduler, channel, inbox):
+        channel.send("a")
+        scheduler.call_at(0.1, lambda: channel.send("b"))
+        scheduler.run()
+        assert [msg for _t, _s, msg in inbox] == ["a", "b"]
+
+    def test_counters(self, scheduler, channel):
+        channel.send("x")
+        channel.send("y")
+        assert channel.messages_sent == 2
+        assert channel.messages_delivered == 0
+        scheduler.run()
+        assert channel.messages_delivered == 2
+
+    def test_in_flight_count(self, scheduler, channel):
+        channel.send("x")
+        assert channel.in_flight == 1
+        scheduler.run()
+        assert channel.in_flight == 0
+
+    def test_non_positive_delay_rejected(self, scheduler):
+        with pytest.raises(NetworkError):
+            Channel(scheduler, 0, 1, 0.0, lambda s, m: None)
+
+
+class TestFailure:
+    def test_send_on_down_channel_raises(self, scheduler, channel):
+        channel.take_down()
+        with pytest.raises(NetworkError, match="down"):
+            channel.send("x")
+
+    def test_take_down_drops_in_flight(self, scheduler, channel, inbox):
+        channel.send("doomed")
+        dropped = channel.take_down()
+        scheduler.run()
+        assert dropped == 1
+        assert inbox == []
+
+    def test_take_down_idempotent(self, channel):
+        channel.send("x")
+        assert channel.take_down() == 1
+        assert channel.take_down() == 0
+
+    def test_bring_up_restores_delivery(self, scheduler, channel, inbox):
+        channel.take_down()
+        channel.bring_up()
+        channel.send("again")
+        scheduler.run()
+        assert [msg for _t, _s, msg in inbox] == ["again"]
+
+    def test_messages_after_restore_not_ordered_behind_dropped(
+        self, scheduler, channel, inbox
+    ):
+        channel.send("lost")
+        channel.take_down()
+        channel.bring_up()
+        channel.send("kept")
+        scheduler.run()
+        assert [msg for _t, _s, msg in inbox] == ["kept"]

@@ -1,0 +1,75 @@
+"""Unit tests for repro.net.failures."""
+
+import pytest
+
+from repro.engine import Scheduler
+from repro.errors import NetworkError
+from repro.net import (
+    FailureSchedule,
+    LinkFailure,
+    LinkRestore,
+    Network,
+    Node,
+    OriginWithdrawal,
+    flap,
+)
+from repro.topology import chain
+
+
+class Quiet(Node):
+    def handle_message(self, src, message):
+        pass
+
+
+@pytest.fixture
+def net(scheduler):
+    return Network(chain(3), scheduler, lambda nid, sch: Quiet(nid, sch))
+
+
+class TestInjectors:
+    def test_link_failure_fires(self, scheduler, net):
+        LinkFailure(0, 1, at=2.0).inject(net)
+        scheduler.run()
+        assert not net.link_is_up(0, 1)
+
+    def test_link_restore_fires(self, scheduler, net):
+        LinkFailure(0, 1, at=1.0).inject(net)
+        LinkRestore(0, 1, at=2.0).inject(net)
+        scheduler.run()
+        assert net.link_is_up(0, 1)
+
+    def test_origin_withdrawal_runs_action(self, scheduler, net):
+        called = []
+        OriginWithdrawal(node=0, at=3.0, action=lambda: called.append(scheduler.now)).inject(net)
+        scheduler.run()
+        assert called == [3.0]
+
+    def test_origin_withdrawal_unknown_node(self, net):
+        with pytest.raises(NetworkError):
+            OriginWithdrawal(node=42, at=1.0, action=lambda: None).inject(net)
+
+
+class TestSchedule:
+    def test_inject_all(self, scheduler, net):
+        schedule = FailureSchedule()
+        schedule.add(LinkFailure(0, 1, at=1.0))
+        schedule.add(LinkFailure(1, 2, at=2.0))
+        schedule.inject_all(net)
+        scheduler.run()
+        assert not net.link_is_up(0, 1)
+        assert not net.link_is_up(1, 2)
+
+    def test_first_failure_time(self):
+        schedule = FailureSchedule()
+        assert schedule.first_failure_time is None
+        schedule.add(LinkFailure(0, 1, at=5.0)).add(LinkFailure(1, 2, at=3.0))
+        assert schedule.first_failure_time == 3.0
+
+    def test_flap(self, scheduler, net):
+        flap(0, 1, down_at=1.0, up_at=2.0).inject_all(net)
+        scheduler.run()
+        assert net.link_is_up(0, 1)
+
+    def test_flap_rejects_bad_window(self):
+        with pytest.raises(NetworkError):
+            flap(0, 1, down_at=2.0, up_at=1.0)

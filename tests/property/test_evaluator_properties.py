@@ -1,0 +1,109 @@
+"""Property tests for the epoch evaluator and loop statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import LoopStatistics
+from repro.core.loop_detector import LoopInterval
+from repro.dataplane import CbrSource, EpochEvaluator, FibChangeLog
+
+P = "dest"
+
+fib_histories = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.integers(min_value=0, max_value=5),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+    ),
+    max_size=25,
+)
+
+source_sets = st.lists(
+    st.builds(
+        CbrSource,
+        node=st.integers(min_value=0, max_value=5),
+        rate=st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+        start=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def build_log(changes):
+    log = FibChangeLog()
+    for time, node, hop in sorted(changes, key=lambda c: c[0]):
+        log.record(time, node, P, hop)
+    return log
+
+
+@given(fib_histories, source_sets, st.floats(min_value=0.0, max_value=40.0),
+       st.floats(min_value=0.0, max_value=20.0))
+def test_packet_fates_are_conserved(changes, sources, start, width):
+    """delivered + dropped + exhausted == packets sent, always."""
+    log = build_log(changes)
+    report = EpochEvaluator(log, P, sources, ttl=32).evaluate(start, start + width)
+    assert (
+        report.delivered + report.dropped_no_route + report.ttl_exhaustions
+        == report.packets_sent
+    )
+    expected = sum(s.count_in(start, start + width) for s in sources)
+    assert report.packets_sent == expected
+
+
+@given(fib_histories, source_sets)
+def test_looping_ratio_bounded(changes, sources):
+    log = build_log(changes)
+    report = EpochEvaluator(log, P, sources, ttl=32).evaluate(0.0, 30.0)
+    assert 0.0 <= report.looping_ratio <= 1.0
+    assert 0.0 <= report.delivery_ratio <= 1.0
+
+
+@given(fib_histories, source_sets)
+def test_exhaustion_timestamps_ordered(changes, sources):
+    log = build_log(changes)
+    report = EpochEvaluator(log, P, sources, ttl=32).evaluate(0.0, 30.0)
+    if report.ttl_exhaustions:
+        assert report.first_exhaustion is not None
+        assert report.last_exhaustion is not None
+        assert report.first_exhaustion <= report.last_exhaustion
+    else:
+        assert report.first_exhaustion is None
+        assert report.overall_looping_duration == 0.0
+
+
+intervals = st.lists(
+    st.builds(
+        lambda cycle, start, dur: LoopInterval(
+            cycle=tuple(sorted(cycle)), start=start, end=start + dur
+        ),
+        cycle=st.sets(st.integers(min_value=0, max_value=20), min_size=2, max_size=5),
+        start=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        dur=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    ),
+    max_size=15,
+)
+
+
+@given(intervals, intervals)
+def test_loop_statistics_merge_is_additive(a, b):
+    stats_a = LoopStatistics.from_intervals(a)
+    stats_b = LoopStatistics.from_intervals(b)
+    merged = LoopStatistics.merge([stats_a, stats_b])
+    assert merged.count == stats_a.count + stats_b.count
+    assert merged.total_loop_seconds() == pytest.approx(
+        stats_a.total_loop_seconds() + stats_b.total_loop_seconds()
+    )
+    for size, count in stats_a.size_histogram().items():
+        assert merged.size_histogram()[size] >= count
+
+
+@given(intervals)
+def test_two_node_share_in_unit_interval(a):
+    stats = LoopStatistics.from_intervals(a)
+    assert 0.0 <= stats.two_node_share() <= 1.0
+    if stats.count:
+        histogram = stats.size_histogram()
+        assert sum(histogram.values()) == stats.count
+        participation = stats.node_participation()
+        assert sum(participation.values()) == sum(stats.sizes())

@@ -1,0 +1,66 @@
+"""Property-based tests for FIB history reconstruction."""
+
+from hypothesis import given, strategies as st
+
+from repro.dataplane import FibChangeLog
+
+P = "dest"
+
+change_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),  # time
+        st.integers(min_value=0, max_value=5),                        # node
+        st.one_of(st.none(), st.integers(min_value=0, max_value=5)),  # next hop
+    ),
+    max_size=30,
+)
+
+
+def build_log(changes):
+    log = FibChangeLog()
+    for time, node, hop in sorted(changes, key=lambda c: c[0]):
+        log.record(time, node, P, hop)
+    return log
+
+
+@given(change_lists, st.floats(min_value=0.0, max_value=120.0, allow_nan=False))
+def test_snapshot_equals_manual_replay(changes, at):
+    log = build_log(changes)
+    graph = log.snapshot_at(P, at)
+    expected = {}
+    for time, node, hop in sorted(changes, key=lambda c: c[0]):
+        if time <= at:
+            expected[node] = hop
+    for node, hop in expected.items():
+        assert graph.next_hop(node) == hop
+
+
+@given(change_lists)
+def test_epochs_tile_the_window_exactly(changes):
+    log = build_log(changes)
+    start, end = 0.0, 120.0
+    epochs = list(log.epochs(P, start, end))
+    assert epochs, "non-empty window must yield at least one epoch"
+    assert epochs[0][0] == start
+    assert epochs[-1][1] == end
+    for (_s0, e0, _g0), (s1, _e1, _g1) in zip(epochs, epochs[1:]):
+        assert e0 == s1  # contiguous, no gaps or overlaps
+    assert all(s < e for s, e, _g in epochs)  # no zero-width epochs
+
+
+@given(change_lists)
+def test_epoch_graph_matches_snapshot_at_epoch_start(changes):
+    log = build_log(changes)
+    for s, _e, graph in log.epochs(P, 0.0, 120.0):
+        snapshot = log.snapshot_at(P, s)
+        for node in range(6):
+            assert graph.next_hop(node) == snapshot.next_hop(node)
+
+
+@given(change_lists)
+def test_epoch_boundaries_are_change_times(changes):
+    log = build_log(changes)
+    change_times = set(log.change_times(P))
+    epochs = list(log.epochs(P, 0.0, 120.0))
+    for s, _e, _g in epochs[1:]:
+        assert s in change_times

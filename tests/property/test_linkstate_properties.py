@@ -1,0 +1,77 @@
+"""Property test: link-state convergence is globally shortest-path."""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import is_loop_free
+from repro.dataplane import ForwardingGraph, PacketFate, walk
+from repro.engine import RandomStreams, Scheduler
+from repro.ls import LinkStateSpeaker
+from repro.net import Network
+from repro.topology import Topology
+
+PREFIX = "dest"
+
+
+@st.composite
+def connected_topologies(draw):
+    n = draw(st.integers(min_value=3, max_value=8))
+    topo = Topology(f"random-{n}")
+    for node in range(1, n):
+        topo.add_edge(node, draw(st.integers(min_value=0, max_value=node - 1)))
+    extras = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=5,
+        )
+    )
+    for u, v in extras:
+        if u != v and not topo.has_edge(u, v):
+            topo.add_edge(u, v)
+    return topo
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(connected_topologies(), st.integers(min_value=0, max_value=100))
+def test_linkstate_converges_to_shortest_path_tree(topo, seed):
+    scheduler = Scheduler()
+    streams = RandomStreams(seed)
+    network = Network(
+        topo,
+        scheduler,
+        lambda nid, sch: LinkStateSpeaker(
+            nid, sch, streams, destinations={PREFIX: 0},
+            processing_delay=(0.01, 0.05),
+        ),
+    )
+    network.start()
+    scheduler.run(max_events=500_000)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(topo.nodes)
+    graph.add_edges_from((u, v) for u, v, _d in topo.edges())
+    distances = nx.single_source_shortest_path_length(graph, 0)
+
+    forwarding = ForwardingGraph()
+    for nid, node in network.nodes.items():
+        forwarding.set_next_hop(nid, node.fib.get(PREFIX))
+        if nid == 0:
+            assert node.next_hop(PREFIX) == 0
+            continue
+        hop = node.next_hop(PREFIX)
+        assert hop is not None, f"node {nid} has no route"
+        # The chosen hop is one step closer, and the smallest such id.
+        closer = [
+            nbr for nbr in topo.neighbors(nid)
+            if distances[nbr] == distances[nid] - 1
+        ]
+        assert hop == min(closer), (nid, hop, closer)
+
+    assert is_loop_free(forwarding)
+    for nid in topo.nodes:
+        result = walk(forwarding, nid)
+        assert result.fate is PacketFate.DELIVERED
+        assert result.hops == distances[nid]

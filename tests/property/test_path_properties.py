@@ -1,0 +1,75 @@
+"""Property-based tests for AS-path algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.bgp import AsPath
+
+as_lists = st.lists(
+    st.integers(min_value=0, max_value=1000), unique=True, max_size=12
+)
+nonempty_as_lists = st.lists(
+    st.integers(min_value=0, max_value=1000), unique=True, min_size=1, max_size=12
+)
+
+
+@given(as_lists)
+def test_roundtrip_through_tuple(ases):
+    assert list(AsPath(ases)) == ases
+
+
+@given(as_lists, st.integers(min_value=1001, max_value=2000))
+def test_prepend_length_and_membership(ases, new_asn):
+    path = AsPath(ases).prepend(new_asn)
+    assert len(path) == len(ases) + 1
+    assert path.head == new_asn
+    assert new_asn in path
+    assert all(a in path for a in ases)
+
+
+@given(nonempty_as_lists)
+def test_head_and_origin_are_ends(ases):
+    path = AsPath(ases)
+    assert path.head == ases[0]
+    assert path.origin == ases[-1]
+
+
+@given(nonempty_as_lists)
+def test_suffix_from_every_member_ends_at_origin(ases):
+    path = AsPath(ases)
+    for asn in ases:
+        suffix = path.suffix_from(asn)
+        assert suffix is not None
+        assert suffix.head == asn
+        assert suffix.origin == path.origin
+        assert len(suffix) == len(ases) - ases.index(asn)
+
+
+@given(as_lists)
+def test_suffix_from_nonmember_is_none(ases):
+    outside = 5000
+    assert AsPath(ases).suffix_from(outside) is None
+
+
+@given(st.data())
+def test_concat_is_associative(data):
+    universe = data.draw(
+        st.lists(st.integers(0, 1000), unique=True, min_size=3, max_size=12)
+    )
+    i = data.draw(st.integers(1, len(universe) - 2))
+    j = data.draw(st.integers(i + 1, len(universe) - 1))
+    a, b, c = AsPath(universe[:i]), AsPath(universe[i:j]), AsPath(universe[j:])
+    assert a.concat(b).concat(c) == a.concat(b.concat(c))
+
+
+@given(nonempty_as_lists)
+def test_paths_hash_consistently(ases):
+    assert hash(AsPath(ases)) == hash(AsPath(tuple(ases)))
+    assert AsPath(ases) == AsPath(tuple(ases))
+
+
+@given(nonempty_as_lists)
+def test_next_after_walks_toward_origin(ases):
+    path = AsPath(ases)
+    for earlier, later in zip(ases, ases[1:]):
+        assert path.next_after(earlier) == later
+    assert path.next_after(path.origin) is None

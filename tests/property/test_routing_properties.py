@@ -1,0 +1,113 @@
+"""End-to-end property: BGP warm-up convergence is policy-optimal.
+
+For random connected topologies, after quiescence every node's path must be
+a shortest path to the origin (with the smaller-next-hop tie-break), the
+forwarding graph must be a loop-free tree into the origin, and every
+speaker's RIB invariants must hold.  This validates the whole stack —
+engine, channels, speaker, decision process — against an independent
+networkx computation.
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bgp import BgpConfig, BgpSpeaker
+from repro.core import is_loop_free
+from repro.dataplane import FibChangeLog, ForwardingGraph
+from repro.engine import RandomStreams, Scheduler
+from repro.net import Network
+from repro.topology import Topology
+
+PREFIX = "dest"
+
+
+@st.composite
+def connected_topologies(draw):
+    """Random connected graphs of 3-8 nodes: a spanning tree plus extras."""
+    n = draw(st.integers(min_value=3, max_value=8))
+    topo = Topology(f"random-{n}")
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        topo.add_edge(node, parent)
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=6,
+        )
+    )
+    for u, v in extra:
+        if u != v and not topo.has_edge(u, v):
+            topo.add_edge(u, v)
+    return topo
+
+
+def converge(topo, seed):
+    scheduler = Scheduler()
+    streams = RandomStreams(seed)
+    log = FibChangeLog()
+    config = BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05))
+    network = Network(
+        topo,
+        scheduler,
+        lambda nid, sch: BgpSpeaker(
+            nid, sch, config=config, streams=streams, fib_listener=log.record
+        ),
+    )
+    network.node(0).originate(PREFIX)
+    network.start()
+    scheduler.run(max_events=500_000)
+    return network
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(connected_topologies(), st.integers(min_value=0, max_value=100))
+def test_warmup_reaches_shortest_path_tree(topo, seed):
+    network = converge(topo, seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(topo.nodes)
+    graph.add_edges_from((u, v) for u, v, _d in topo.edges())
+    distances = nx.single_source_shortest_path_length(graph, 0)
+
+    forwarding = ForwardingGraph()
+    for nid, node in network.nodes.items():
+        node.check_invariants()
+        best = node.best_route(PREFIX)
+        assert best is not None, f"node {nid} has no route after warm-up"
+        assert best.hop_count == distances[nid], (
+            f"node {nid} selected a {best.hop_count}-hop path, shortest is "
+            f"{distances[nid]}"
+        )
+        # Tie-break: among neighbors one hop closer, the smallest id wins.
+        if nid != 0:
+            closer = [
+                nbr
+                for nbr in topo.neighbors(nid)
+                if distances[nbr] == distances[nid] - 1
+            ]
+            assert best.next_hop == min(closer)
+        forwarding.set_next_hop(nid, node.fib.get(PREFIX))
+
+    assert is_loop_free(forwarding)
+    # Every node's forwarding chain reaches the origin.
+    from repro.dataplane import PacketFate, walk
+
+    for nid in topo.nodes:
+        assert walk(forwarding, nid).fate is PacketFate.DELIVERED
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(connected_topologies(), st.integers(min_value=0, max_value=100))
+def test_tdown_leaves_every_node_route_free(topo, seed):
+    network = converge(topo, seed)
+    scheduler = network.scheduler
+    origin = network.node(0)
+    scheduler.call_at(
+        scheduler.now + 0.5, lambda: origin.withdraw_origin(PREFIX)
+    )
+    scheduler.run(max_events=500_000)
+    for node in network.nodes.values():
+        node.check_invariants()
+        assert node.best_route(PREFIX) is None

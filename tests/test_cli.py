@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, QUICK_FIGURE_KWARGS, build_parser, main
+
+
+class TestParser:
+    def test_every_figure_has_quick_params(self):
+        assert set(FIGURES) == set(QUICK_FIGURE_KWARGS)
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_prints_metrics(self, capsys):
+        code = main(
+            ["run", "--topology", "clique", "--size", "4", "--mrai", "1",
+             "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "convergence time" in out
+        assert "looping ratio" in out
+
+    def test_run_with_loop_stats(self, capsys):
+        code = main(
+            ["run", "--topology", "clique", "--size", "5", "--mrai", "2",
+             "--seed", "1", "--loop-stats"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loop lifetimes observed" in out or "no loops observed" in out
+
+    def test_run_tlong_bclique(self, capsys):
+        code = main(
+            ["run", "--topology", "b-clique", "--size", "3", "--event",
+             "tlong", "--mrai", "1", "--seed", "0"]
+        )
+        assert code == 0
+        assert "tlong-bclique-3" in capsys.readouterr().out
+
+    def test_run_variant_selection(self, capsys):
+        code = main(
+            ["run", "--topology", "clique", "--size", "4", "--variant",
+             "ghost-flushing", "--mrai", "1"]
+        )
+        assert code == 0
+        assert "ghost-flushing" in capsys.readouterr().out
+
+    def test_run_with_damping_flag(self, capsys):
+        code = main(
+            ["run", "--topology", "b-clique", "--size", "3", "--event",
+             "tlong", "--mrai", "1", "--damping-half-life", "20"]
+        )
+        assert code == 0
+        assert "convergence time" in capsys.readouterr().out
+
+    def test_run_verbose_full_report(self, capsys):
+        code = main(
+            ["run", "--topology", "clique", "--size", "4", "--mrai", "1",
+             "--seed", "1", "--verbose"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "updates sent" in out
+        assert "individual loops" in out
+
+    def test_run_invalid_tlong_topology_fails_cleanly(self, capsys):
+        code = main(
+            ["run", "--topology", "clique", "--event", "tlong", "--size", "4"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigureCommand:
+    def test_quick_figure_renders_table(self, capsys):
+        code = main(["figure", "fig4a", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig4a" in out
+        assert "looping_duration" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    @pytest.mark.parametrize("figure_id", sorted(FIGURES))
+    def test_every_quick_figure_terminates_and_renders(self, capsys, figure_id):
+        code = main(["figure", figure_id, "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert figure_id in out
+
+    def test_quick_figure_with_plot(self, capsys):
+        code = main(["figure", "fig4a", "--quick", "--plot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "looping_duration" in out
+        assert " |" in out  # the chart's y-axis gutter
+
+
+class TestTopologyCommand:
+    def test_clique_edge_list(self, capsys):
+        code = main(["topology", "--kind", "clique", "--size", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 1" in out
+        assert out.count("\n") == 1 + 6  # header + 6 edges
+
+    @pytest.mark.parametrize("kind,size", [("chain", 4), ("ring", 5), ("star", 4)])
+    def test_named_generator_kinds(self, capsys, kind, size):
+        code = main(["topology", "--kind", kind, "--size", str(size)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"{kind}-{size}" in out  # topology name in the header comment
+
+    def test_run_on_named_generator_topology(self, capsys):
+        code = main(
+            ["run", "--topology", "ring", "--size", "4", "--mrai", "1",
+             "--seed", "2"]
+        )
+        assert code == 0
+        assert "tdown-ring-4" in capsys.readouterr().out
+
+    def test_internet_edge_list_round_trips(self, capsys):
+        import io
+
+        from repro.topology import internet_like, load_edge_list
+
+        code = main(["topology", "--kind", "internet", "--size", "12",
+                     "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert load_edge_list(io.StringIO(out)) == internet_like(12, seed=3)
+
+
+class TestListCommand:
+    def test_list_mentions_everything(self, capsys):
+        code = main(["list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig4a" in out and "fig9d" in out and "theory" in out
+        assert "ghost-flushing" in out
+        assert "b-clique" in out

@@ -1,0 +1,58 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util import format_cell, render_series, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(1.23456) == "1.23"
+        assert format_cell(1.23456, precision=4) == "1.2346"
+
+    def test_none_blank(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["n", "time"], [[5, 1.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert lines[0] == "n  | time"
+        assert lines[1] == "---+-----"
+        assert lines[2] == "5  | 1.50"
+        assert lines[3] == "10 | 3.25"
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_wide_cell_expands_column(self):
+        text = render_table(["x"], [["a-very-long-value"]])
+        assert "a-very-long-value" in text
+
+
+class TestRenderSeries:
+    def test_series_layout(self):
+        text = render_series(
+            "mrai", [5, 10], [("conv", [1.0, 2.0]), ("loop", [0.5, 1.5])]
+        )
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "mrai"
+        assert "conv" in lines[0] and "loop" in lines[0]
+        assert len(lines) == 4
+
+    def test_misaligned_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], [("bad", [1.0])])
