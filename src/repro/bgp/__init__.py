@@ -8,7 +8,7 @@ variant registry (:func:`variant` / :data:`VARIANT_NAMES`).
 from .config import DEFAULT_PROCESSING_DELAY, BgpConfig
 from .damping import DampingConfig, RouteFlapDamper
 from .decision import DecisionProcess
-from .messages import Announcement, Keepalive, Prefix, Withdrawal, is_update
+from .messages import Announcement, Keepalive, Open, Prefix, Withdrawal, is_update
 from .session import SessionManager
 from .mrai import DEFAULT_JITTER, DEFAULT_MRAI, MraiManager
 from .path import AsPath
@@ -49,6 +49,7 @@ __all__ = [
     "MraiManager",
     "NOTHING_SENT",
     "NoTransitForPrefix",
+    "Open",
     "Prefix",
     "PreferNeighbor",
     "Relationship",

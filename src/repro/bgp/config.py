@@ -44,6 +44,10 @@ class BgpConfig:
     ghost_flushing:
         Ghost Flushing — moving to a longer path while MRAI holds the
         announcement triggers an immediate withdrawal "flush".
+    connect_retry / connect_retry_cap:
+        ConnectRetry backoff for session re-establishment: attempt ``k``
+        waits ``min(cap, base * 2**k)`` seconds (jittered).  Only relevant
+        when sessions are enabled.
     """
 
     mrai: float = DEFAULT_MRAI
@@ -55,6 +59,8 @@ class BgpConfig:
     ghost_flushing: bool = False
     hold_time: float = 0.0
     keepalive_interval: float = 0.0
+    connect_retry: float = 1.0
+    connect_retry_cap: float = 60.0
     damping: Optional[DampingConfig] = None
 
     def __post_init__(self) -> None:
@@ -79,6 +85,11 @@ class BgpConfig:
                 f"keepalive interval {self.effective_keepalive} must be "
                 f"shorter than hold time {self.hold_time}"
             )
+        if self.connect_retry <= 0 or self.connect_retry_cap < self.connect_retry:
+            raise ConfigError(
+                f"connect retry must satisfy 0 < base <= cap, got "
+                f"{self.connect_retry} vs {self.connect_retry_cap}"
+            )
 
     @property
     def sessions_enabled(self) -> bool:
@@ -87,9 +98,11 @@ class BgpConfig:
         With sessions off (the default, and the paper's model) a speaker
         learns of adjacency failures instantly from the interface; with
         sessions on, a *silent* failure is detected only when the hold
-        timer expires.  Session mode keeps keepalive timers armed forever,
-        so it is for manually-driven simulations (``scheduler.run(until=)``)
-        rather than the run-to-quiescence experiment harness.
+        timer expires, and a lost session re-establishes via ConnectRetry
+        (``connect_retry``/``connect_retry_cap`` backoff).  Keepalive and
+        hold timers are housekeeping events, so session mode works with the
+        run-to-quiescence harness — give the run a ``settle`` window longer
+        than the hold time so pending detections still fire.
         """
         return self.hold_time > 0
 

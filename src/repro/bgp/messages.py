@@ -1,10 +1,11 @@
 """BGP control-plane messages.
 
-Only the two message kinds that drive convergence dynamics are modeled:
-announcements (UPDATE with NLRI) and withdrawals (UPDATE with withdrawn
-routes).  Session management (OPEN/KEEPALIVE/NOTIFICATION) is abstracted
-away: peerings exist while the underlying link is up, which matches how the
-paper treats adjacencies.
+The two message kinds that drive convergence dynamics — announcements
+(UPDATE with NLRI) and withdrawals (UPDATE with withdrawn routes) — plus the
+two session-management messages the churn experiments need: KEEPALIVE
+(liveness when the session layer is enabled) and OPEN (the handshake that
+re-establishes a session after a reset, triggering the RFC 1771 initial
+full-table exchange).  NOTIFICATION is still abstracted away.
 
 Prefixes are opaque strings (e.g. ``"d0"``); the simulations use one prefix,
 but the speaker handles any number.
@@ -63,14 +64,36 @@ class Keepalive:
     interface-level failure detection and never need them.
     """
 
+    #: Keepalives are pure background heartbeat: their delivery and
+    #: processing events are scheduled as housekeeping, so an armed
+    #: keepalive schedule never blocks run-to-quiescence.
+    HOUSEKEEPING = True
+
     def __repr__(self) -> str:
         return "Keepalive"
+
+
+@dataclass(frozen=True)
+class Open:
+    """An OPEN: (re-)establishes the session with the receiving peer.
+
+    Exchanged only by the ConnectRetry machinery after a session loss (the
+    boot-time peering is implicit, as in the paper).  ``echo=True`` marks
+    the passive reply to a received OPEN, so crossing handshakes terminate
+    instead of echoing forever.
+    """
+
+    echo: bool = False
+
+    def __repr__(self) -> str:
+        return f"Open[{'echo' if self.echo else 'syn'}]"
 
 
 def is_update(message: object) -> bool:
     """True for the messages that count toward convergence time.
 
     The paper measures convergence as "the time the last BGP update message
-    is sent"; both announcements and withdrawals are updates.
+    is sent"; both announcements and withdrawals are updates (OPENs and
+    KEEPALIVEs are not).
     """
     return isinstance(message, (Announcement, Withdrawal))

@@ -116,6 +116,11 @@ class MraiManager:
             if timer_peer == peer:
                 timer.cancel()
 
+    def cancel_all(self) -> None:
+        """Drop every timer (the router crashed)."""
+        for timer in self._timers.values():
+            timer.cancel()
+
     def active_timers(self) -> int:
         """Number of currently-running timers (diagnostics)."""
         return sum(1 for t in self._timers.values() if t.running)

@@ -14,7 +14,10 @@ implements, per §3:
 * duplicate suppression: a route is advertised once and re-advertised only
   on change (tracked via the Adj-RIB-Out),
 * the four §5 enhancements, enabled by :class:`~repro.bgp.config.BgpConfig`
-  flags, with their decision logic in :mod:`repro.bgp.variants`.
+  flags, with their decision logic in :mod:`repro.bgp.variants`,
+* the session lifecycle (when ``BgpConfig.hold_time > 0``): hold/keepalive
+  liveness, ConnectRetry re-establishment after a session loss via an OPEN
+  handshake, and the RFC 1771 initial table exchange on session-up.
 
 The speaker maintains a one-prefix-deep FIB (``prefix -> next hop``); every
 FIB change is reported to an optional listener, which is how the data plane
@@ -32,7 +35,7 @@ from ..net import Node
 from .config import BgpConfig
 from .damping import RouteFlapDamper
 from .decision import DecisionProcess
-from .messages import Announcement, Keepalive, Prefix, Withdrawal
+from .messages import Announcement, Keepalive, Open, Prefix, Withdrawal
 from .mrai import MraiManager
 from .session import SessionManager
 from .path import AsPath
@@ -120,6 +123,11 @@ class BgpSpeaker(Node):
                 keepalive_interval=config.effective_keepalive,
                 send_keepalive=self._send_keepalive_to,
                 on_session_down=self._purge_neighbor,
+                connect=self._attempt_connect,
+                on_session_up=self._session_established,
+                retry_base=config.connect_retry,
+                retry_cap=config.connect_retry_cap,
+                rng=streams.stream(f"connect-retry:{node_id}"),
             )
         self._origins: Set[Prefix] = set()
         self.fib: Dict[Prefix, Optional[int]] = {}
@@ -133,6 +141,8 @@ class BgpSpeaker(Node):
         self.routes_removed_by_assertion = 0
         self.flush_withdrawals_sent = 0
         self.ssld_conversions = 0
+        self.session_resets_seen = 0
+        self.opens_sent = 0
 
     # ------------------------------------------------------------------
     # Public protocol API
@@ -199,6 +209,11 @@ class BgpSpeaker(Node):
         fires); without them, by physical link state — the paper's
         interface-detection model.
         """
+        if isinstance(message, Open):
+            # Handshake messages are meaningful precisely when the session
+            # is NOT established, so they bypass the staleness gate below.
+            self._handle_open(src, message)
+            return
         if self.sessions is not None:
             if not self.sessions.established(src):
                 return  # stale delivery from a torn-down session
@@ -299,10 +314,123 @@ class BgpSpeaker(Node):
         for prefix in self.loc_rib.prefixes():
             self._sync_peer(neighbor, prefix)
 
+    def on_session_reset(self, neighbor: int) -> None:
+        """The TCP session to ``neighbor`` died; the physical link is fine.
+
+        Both in-flight directions were destroyed with the connection, so
+        everything learned from (and believed sent to) the peer is stale:
+        purge, then rebuild.  With the session layer on, ConnectRetry drives
+        an OPEN handshake (``immediate=True`` — the peer is expected back
+        momentarily, no accumulated backoff).  Without it, TCP
+        re-establishment is modeled as instantaneous: re-exchange at once.
+        """
+        self.session_resets_seen += 1
+        if self.sessions is not None:
+            self.sessions.teardown(neighbor)
+            self._purge_neighbor(neighbor)
+            self.sessions.start_reconnect(neighbor, immediate=True)
+            return
+        self._purge_neighbor(neighbor)
+        for prefix in self.loc_rib.prefixes():
+            self._sync_peer(neighbor, prefix)
+
     def _send_keepalive_to(self, peer: int) -> None:
         """Session-layer callback; guards the physical link state."""
         if self.link_is_up(peer):
             self.send(peer, Keepalive())
+
+    # ------------------------------------------------------------------
+    # Session re-establishment (ConnectRetry + OPEN handshake)
+    # ------------------------------------------------------------------
+
+    def _attempt_connect(self, peer: int) -> None:
+        """ConnectRetry fired: send an OPEN if the link can carry it.
+
+        With the link physically down the retry goes dormant — the
+        interface-up notification re-establishes directly
+        (see :meth:`on_link_up`).
+        """
+        assert self.sessions is not None
+        if not self.alive or self.sessions.established(peer):
+            return
+        if not self.link_is_up(peer):
+            return
+        self.opens_sent += 1
+        self.send(peer, Open())
+        # No reply yet: keep probing with the next backoff step.
+        self.sessions.start_reconnect(peer)
+
+    def _handle_open(self, src: int, message: Open) -> None:
+        """(Re-)build the session with ``src`` and trigger the re-exchange.
+
+        The echo reply is sent *before* establishing so the peer processes
+        it — and establishes its side — ahead of the full-table updates that
+        establishment emits (the channel is FIFO).  Crossing OPENs terminate
+        because an echo is never answered.
+        """
+        if self.sessions is None or not self.link_is_up(src):
+            return
+        if not message.echo:
+            if self.sessions.established(src):
+                # The peer restarted its side of the session: everything we
+                # hold from — and believe we sent to — it is stale.
+                self.sessions.teardown(src)
+                self._purge_neighbor(src)
+            self.send(src, Open(echo=True))
+        self.sessions.establish(src)
+        self.sessions.message_received(src)
+
+    def _session_established(self, peer: int) -> None:
+        """Session-up callback: the RFC 1771 initial table exchange.
+
+        The purge at session loss dropped the peer's Adj-RIB-Out record,
+        so every Loc-RIB prefix re-advertises from scratch.
+        """
+        for prefix in self.loc_rib.prefixes():
+            self._sync_peer(peer, prefix)
+
+    # ------------------------------------------------------------------
+    # Whole-router fault injection
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all protocol state: RIBs, timers, sessions, CPU queue.
+
+        Route and FIB listeners see the crashed router's routes disappear
+        (its data plane forwards nothing), keeping the forwarding-graph
+        reconstruction truthful through the outage.
+        """
+        for prefix in sorted(self.loc_rib.prefixes()):
+            if self._route_listener is not None:
+                self._route_listener(
+                    self.scheduler.now,
+                    self.node_id,
+                    prefix,
+                    self._node_path(self.loc_rib.get(prefix)),
+                    None,
+                )
+            self._update_fib(prefix, None)
+        if self.sessions is not None:
+            self.sessions.shutdown()
+        self.mrai.cancel_all()
+        if self.damper is not None:
+            for neighbor in sorted(self.network.topology.neighbors(self.node_id)):
+                self.damper.cancel_peer(neighbor)
+        self.adj_rib_in = AdjRibIn()
+        self.loc_rib = LocRib()
+        self.adj_rib_out = AdjRibOut()
+        super().crash()
+
+    def restart(self) -> None:
+        """Cold boot: configured originations intact, everything else gone.
+
+        :meth:`Network.restart_node` restores the links *after* this runs,
+        so dissemination (and session re-establishment) begins as the
+        ``on_link_up`` notifications arrive one adjacency at a time.
+        """
+        super().restart()
+        for prefix in sorted(self._origins):
+            self._run_decision(prefix)
 
     # ------------------------------------------------------------------
     # Decision + dissemination
@@ -379,7 +507,17 @@ class BgpSpeaker(Node):
         All rate-limiting, duplicate-suppression, and enhancement behavior
         funnels through here; MRAI expiry re-enters via the same method, so
         held updates always reflect the *latest* state.
+
+        Updates are only emitted toward peers that can actually receive
+        them: the link must be up and, in session mode, the session
+        established — otherwise the peer would drop the update while our
+        Adj-RIB-Out recorded it as sent, and the re-exchange at session-up
+        would skip routes the peer never saw.
         """
+        if not self.link_is_up(peer):
+            return
+        if self.sessions is not None and not self.sessions.established(peer):
+            return
         desired = self._desired_advertisement(peer, prefix)
         last = self.adj_rib_out.last_sent(peer, prefix)
         if desired == last.path:

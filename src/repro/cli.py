@@ -25,10 +25,13 @@ from .experiments import (
     RunSettings,
     custom_tdown,
     run_experiment,
+    tcrash_clique,
     tdown_clique,
     tdown_internet,
+    tflap_bclique,
     tlong_bclique,
     tlong_internet,
+    treset_clique,
 )
 from .experiments.figures import (
     figure4a,
@@ -125,7 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--size", type=int, default=10, help="topology size parameter")
     run.add_argument(
-        "--event", choices=("tdown", "tlong"), default="tdown",
+        "--event",
+        choices=("tdown", "tlong", "treset", "tcrash", "tflap"),
+        default="tdown",
         help="failure event (default: tdown)",
     )
     run.add_argument(
@@ -148,6 +153,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--damping-half-life", type=float, default=None, metavar="SECONDS",
         help="enable RFC 2439 route-flap damping with this half-life",
+    )
+    run.add_argument(
+        "--sessions", action="store_true",
+        help=(
+            "enable the keepalive/hold-timer session layer with ConnectRetry "
+            "(hold 9s, keepalive 3s); implied defaults for churn events"
+        ),
+    )
+    run.add_argument(
+        "--restart-after", type=float, default=30.0, metavar="SECONDS",
+        help="tcrash only: seconds the crashed node stays down (default: 30)",
+    )
+    run.add_argument(
+        "--flap-period", type=float, default=15.0, metavar="SECONDS",
+        help="tflap only: one full down/up cycle length (default: 15)",
+    )
+    run.add_argument(
+        "--flap-count", type=int, default=3,
+        help="tflap only: number of down/up cycles (default: 3)",
     )
 
     figure = commands.add_parser("figure", help="regenerate one paper figure")
@@ -177,20 +201,45 @@ def _make_scenario(args):
             return tdown_internet(args.size, seed=args.seed)
         generator = named_generator(args.topology)
         return custom_tdown(generator(args.size), destination=0)
-    # tlong
-    if args.topology == "b-clique":
-        return tlong_bclique(args.size)
-    if args.topology == "internet":
-        return tlong_internet(args.size, seed=args.seed)
-    raise ReproError(
-        f"tlong is defined for b-clique and internet topologies, "
-        f"not {args.topology!r}"
+    if args.event == "tlong":
+        if args.topology == "b-clique":
+            return tlong_bclique(args.size)
+        if args.topology == "internet":
+            return tlong_internet(args.size, seed=args.seed)
+        raise ReproError(
+            f"tlong is defined for b-clique and internet topologies, "
+            f"not {args.topology!r}"
+        )
+    if args.event == "treset":
+        if args.topology != "clique":
+            raise ReproError("treset is defined for clique topologies")
+        return treset_clique(args.size)
+    if args.event == "tcrash":
+        if args.topology != "clique":
+            raise ReproError("tcrash is defined for clique topologies")
+        return tcrash_clique(args.size, restart_after=args.restart_after)
+    # tflap
+    if args.topology != "b-clique":
+        raise ReproError("tflap is defined for b-clique topologies")
+    return tflap_bclique(
+        args.size, period=args.flap_period, count=args.flap_count
     )
 
 
 def _cmd_run(args) -> int:
     scenario = _make_scenario(args)
     config = variant(args.variant, mrai=args.mrai)
+    if args.sessions or args.event in ("treset", "tcrash", "tflap"):
+        from dataclasses import replace
+
+        if not config.sessions_enabled:
+            config = replace(
+                config,
+                hold_time=9.0,
+                keepalive_interval=3.0,
+                connect_retry=0.5,
+                connect_retry_cap=4.0,
+            )
     if args.damping_half_life is not None:
         from dataclasses import replace
 

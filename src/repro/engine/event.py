@@ -38,9 +38,28 @@ class Event:
 
     Instances are created by :class:`repro.engine.scheduler.Scheduler`; user
     code normally only keeps the returned handle in order to ``cancel()`` it.
+
+    **Housekeeping events** are periodic background activity — BGP keepalive
+    schedules, hold-timer re-arms — that would otherwise keep the heap
+    populated forever and defeat run-to-quiescence.  The scheduler keeps an
+    exact count of pending *substantive* (non-housekeeping) events; when it
+    reaches zero the simulation's routing activity has quiesced even though
+    housekeeping heartbeats remain armed.  An event's classification can be
+    upgraded in place (:meth:`mark_substantive`) — the serialized router CPU
+    uses that when substantive work queues behind a housekeeping job.
     """
 
-    __slots__ = ("time", "priority", "seq", "action", "name", "_cancelled")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "action",
+        "name",
+        "housekeeping",
+        "_cancelled",
+        "_fired",
+        "_counter",
+    )
 
     def __init__(
         self,
@@ -49,18 +68,30 @@ class Event:
         seq: int,
         action: Callable[[], None],
         name: Optional[str] = None,
+        housekeeping: bool = False,
+        counter: Optional[object] = None,
     ) -> None:
         self.time = time
         self.priority = priority
         self.seq = seq
         self.action = action
         self.name = name or getattr(action, "__name__", "event")
+        self.housekeeping = housekeeping
         self._cancelled = False
+        self._fired = False
+        # The scheduler that counts this event while pending (None for
+        # events constructed outside a scheduler, e.g. in unit tests).
+        self._counter = counter
 
     @property
     def cancelled(self) -> bool:
         """True if :meth:`cancel` was called before the event fired."""
         return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's action has run."""
+        return self._fired
 
     def cancel(self) -> None:
         """Prevent the event from firing.
@@ -68,7 +99,22 @@ class Event:
         Cancelling an event that already fired (or was already cancelled) is
         a no-op, so callers do not need to track firing state themselves.
         """
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        if not self.housekeeping and self._counter is not None:
+            self._counter._adjust_substantive(-1)
+
+    def mark_substantive(self) -> None:
+        """Upgrade a pending housekeeping event to substantive.
+
+        No-op if the event is already substantive, cancelled, or fired.
+        """
+        if not self.housekeeping or self._cancelled or self._fired:
+            return
+        self.housekeeping = False
+        if self._counter is not None:
+            self._counter._adjust_substantive(+1)
 
     def sort_key(self) -> tuple:
         """The total-order key used by the scheduler's heap."""

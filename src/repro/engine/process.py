@@ -38,10 +38,13 @@ class SerialProcessor:
     def __init__(self, scheduler: Scheduler, name: str = "processor") -> None:
         self._scheduler = scheduler
         self._name = name
-        self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._queue: Deque[Tuple[float, Callable[[], None], bool]] = deque()
         self._busy = False
         self._jobs_completed = 0
+        self._jobs_dropped = 0
         self._busy_until = 0.0
+        self._substantive_queued = 0
+        self._current_event = None
 
     # ------------------------------------------------------------------
 
@@ -67,44 +70,88 @@ class SerialProcessor:
         Only an estimate of the in-service job's remainder plus the service
         times already assigned to the queued jobs.
         """
-        waiting = sum(service for service, _ in self._queue)
+        waiting = sum(service for service, _, _ in self._queue)
         in_service = max(0.0, self._busy_until - self._scheduler.now)
         return waiting + in_service
 
     # ------------------------------------------------------------------
 
-    def submit(self, service_time: float, on_done: Callable[[], None]) -> None:
+    def submit(
+        self,
+        service_time: float,
+        on_done: Callable[[], None],
+        housekeeping: bool = False,
+    ) -> None:
         """Enqueue a job that takes ``service_time`` seconds of CPU.
 
         ``on_done`` runs at the simulated instant the service completes.
+        ``housekeeping`` jobs (keepalive processing) do not block the
+        scheduler's quiescence detection; if substantive work queues behind
+        a housekeeping job already in service, the in-service completion
+        event is upgraded so the chain that releases the substantive job
+        stays quiescence-blocking.
         """
         if service_time < 0:
             raise ValueError(f"negative service time {service_time}")
-        self._queue.append((service_time, on_done))
+        self._queue.append((service_time, on_done, housekeeping))
+        if not housekeeping:
+            self._substantive_queued += 1
+            if self._current_event is not None:
+                self._current_event.mark_substantive()
         if not self._busy:
             self._start_next()
+
+    def clear(self) -> int:
+        """Drop every queued job and abort the one in service (router crash).
+
+        Returns the number of jobs destroyed.  The processor is immediately
+        ready to accept new work.
+        """
+        dropped = len(self._queue) + (1 if self._busy else 0)
+        self._queue.clear()
+        self._substantive_queued = 0
+        if self._current_event is not None:
+            self._current_event.cancel()
+            self._current_event = None
+        self._busy = False
+        self._busy_until = 0.0
+        self._jobs_dropped += dropped
+        return dropped
+
+    @property
+    def jobs_dropped(self) -> int:
+        """Jobs destroyed by :meth:`clear` (crashes) over the node's life."""
+        return self._jobs_dropped
 
     def _start_next(self) -> None:
         if not self._queue:
             self._busy = False
+            self._current_event = None
             return
         self._busy = True
-        service_time, on_done = self._queue.popleft()
+        service_time, on_done, housekeeping = self._queue.popleft()
+        if not housekeeping:
+            self._substantive_queued -= 1
         self._busy_until = self._scheduler.now + service_time
 
         def finish() -> None:
             self._jobs_completed += 1
+            self._current_event = None
             # Run the job body before starting the next service slot so a
             # job's side effects (e.g. enqueueing replies) see a consistent
             # clock, then immediately begin the next queued job.
             on_done()
             self._start_next()
 
-        self._scheduler.call_after(
+        # The completion event only counts as housekeeping when nothing
+        # substantive is waiting behind this job — it is the event that
+        # starts the next service slot.
+        self._current_event = self._scheduler.call_after(
             service_time,
             finish,
             priority=EventPriority.PROCESSING,
             name=f"{self._name}:job",
+            housekeeping=housekeeping and self._substantive_queued == 0,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

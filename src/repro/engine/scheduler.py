@@ -13,12 +13,20 @@ Design points that matter for reproducing the paper:
   constantly; cancellation just flags the event and the heap skips it later.
 * **Run guards** — ``run()`` accepts both a time horizon and an event-count
   budget so runaway protocol bugs fail loudly instead of spinning forever.
+* **Housekeeping events** — periodic background activity (BGP keepalives,
+  hold-timer re-arms) can be scheduled with ``housekeeping=True``; such
+  events never block quiescence detection, so session-mode simulations work
+  with run-to-quiescence instead of requiring a fixed horizon.  A ``settle``
+  window lets housekeeping keep firing for a bounded quiet period after the
+  last substantive event, so detections that *ride on* housekeeping timers
+  (a hold expiry after a silent failure) still get their chance to fire.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from collections import Counter
+from typing import Callable, Dict, List, Optional
 
 from ..errors import SchedulingError
 from .event import Event, EventPriority
@@ -42,6 +50,8 @@ class Scheduler:
         self._stopped = False
         self._events_processed = 0
         self._last_event_time: Optional[float] = None
+        self._last_substantive_time: Optional[float] = None
+        self._substantive = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -68,9 +78,31 @@ class Scheduler:
         return self._last_event_time
 
     @property
+    def last_substantive_event_time(self) -> Optional[float]:
+        """Time of the most recent non-housekeeping event (``None`` before any).
+
+        This is the quiescence point of the *routing* activity: keepalive
+        heartbeats and other housekeeping events do not move it.
+        """
+        return self._last_substantive_time
+
+    @property
     def pending(self) -> int:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def substantive_pending(self) -> int:
+        """Number of live non-housekeeping events still pending.
+
+        Zero means the simulation has quiesced up to housekeeping heartbeats
+        (exact count: cancellations are reflected immediately).
+        """
+        return self._substantive
+
+    def _adjust_substantive(self, delta: int) -> None:
+        """Internal: events report cancellation/upgrade to keep the count exact."""
+        self._substantive += delta
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -82,9 +114,12 @@ class Scheduler:
         action: Callable[[], None],
         priority: int = EventPriority.TIMER,
         name: Optional[str] = None,
+        housekeeping: bool = False,
     ) -> Event:
         """Schedule ``action`` to run at absolute simulation time ``time``.
 
+        ``housekeeping=True`` marks the event as background activity that
+        must not block quiescence detection (see the module docstring).
         Returns the :class:`Event` handle, which supports ``cancel()``.
         Raises :class:`SchedulingError` if ``time`` is in the past.
         """
@@ -93,8 +128,18 @@ class Scheduler:
                 f"cannot schedule event {name or action!r} at t={time}; "
                 f"clock is already at t={self._now}"
             )
-        event = Event(time, int(priority), self._seq, action, name)
+        event = Event(
+            time,
+            int(priority),
+            self._seq,
+            action,
+            name,
+            housekeeping=housekeeping,
+            counter=self,
+        )
         self._seq += 1
+        if not housekeeping:
+            self._substantive += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -104,11 +149,12 @@ class Scheduler:
         action: Callable[[], None],
         priority: int = EventPriority.TIMER,
         name: Optional[str] = None,
+        housekeeping: bool = False,
     ) -> Event:
         """Schedule ``action`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay} for {name or action!r}")
-        return self.call_at(self._now + delay, action, priority, name)
+        return self.call_at(self._now + delay, action, priority, name, housekeeping)
 
     # ------------------------------------------------------------------
     # Execution
@@ -134,6 +180,10 @@ class Scheduler:
             self._now = event.time
             self._events_processed += 1
             self._last_event_time = event.time
+            event._fired = True
+            if not event.housekeeping:
+                self._substantive -= 1
+                self._last_substantive_time = event.time
             event.action()
             return True
         return False
@@ -142,6 +192,7 @@ class Scheduler:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        settle: Optional[float] = None,
     ) -> float:
         """Run events until quiescence, a time horizon, or an event budget.
 
@@ -150,10 +201,20 @@ class Scheduler:
         until:
             Absolute simulation time at which to stop.  Events scheduled at
             exactly ``until`` still fire; later ones stay queued.  ``None``
-            means run to quiescence (empty heap).
+            means run to quiescence: no substantive events pending (pure
+            housekeeping heartbeats — keepalive schedules and the like — do
+            not keep the simulation alive).
         max_events:
             Fail-safe budget; exceeding it raises :class:`SchedulingError`
             because a healthy routing simulation always quiesces.
+        settle:
+            Quiet-period length in seconds.  When given, housekeeping events
+            keep firing after substantive activity stops, and the run only
+            ends once ``settle`` seconds of simulated time pass with no
+            substantive event.  This gives detections carried *by*
+            housekeeping timers — a BGP hold timer expiring after a silent
+            failure — their window to fire; pick a settle longer than the
+            longest such timer.  Ignored while substantive events remain.
 
         Returns the simulation time when the run stopped.
         """
@@ -162,12 +223,28 @@ class Scheduler:
         self._running = True
         self._stopped = False
         fired = 0
+        quiet_origin = self._now
         try:
             while self._heap and not self._stopped:
                 nxt = self._heap[0]
                 if nxt.cancelled:
                     heapq.heappop(self._heap)
                     continue
+                if self._substantive == 0:
+                    if settle is None:
+                        if until is None:
+                            break
+                        # Horizon mode without settle: housekeeping runs to
+                        # the horizon (legacy, e.g. manually-driven session
+                        # simulations that inspect timer-driven behavior).
+                    else:
+                        quiet_since = (
+                            self._last_substantive_time
+                            if self._last_substantive_time is not None
+                            else quiet_origin
+                        )
+                        if nxt.time > quiet_since + settle:
+                            break
                 if until is not None and nxt.time > until:
                     self._now = until
                     break
@@ -193,6 +270,28 @@ class Scheduler:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
+
+    def next_substantive_time(self) -> Optional[float]:
+        """Time of the next pending substantive event, ``None`` if only
+        housekeeping (or nothing) remains.  O(pending); diagnostics use."""
+        if self._substantive == 0:
+            return None
+        times = [
+            e.time for e in self._heap if not e.cancelled and not e.housekeeping
+        ]
+        return min(times) if times else None
+
+    def pending_by_name(self) -> Dict[str, int]:
+        """Live pending events grouped by name family (diagnostics).
+
+        The family is the event name up to the first ``:`` — e.g. every
+        ``mrai:<peer>:<prefix>`` timer counts under ``"mrai"``.
+        """
+        counts: Counter = Counter()
+        for event in self._heap:
+            if not event.cancelled:
+                counts[(event.name or "<anonymous>").split(":", 1)[0]] += 1
+        return dict(counts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Scheduler t={self._now:.6f} pending={len(self._heap)}>"

@@ -30,11 +30,13 @@ class Timer:
         callback: Callable[[], None],
         name: str = "timer",
         priority: int = EventPriority.TIMER,
+        housekeeping: bool = False,
     ) -> None:
         self._scheduler = scheduler
         self._callback = callback
         self._name = name
         self._priority = priority
+        self._housekeeping = housekeeping
         self._event: Optional[Event] = None
         self._expires_at: Optional[float] = None
 
@@ -68,7 +70,11 @@ class Timer:
             )
         self._expires_at = self._scheduler.now + delay
         self._event = self._scheduler.call_after(
-            delay, self._fire, priority=self._priority, name=self._name
+            delay,
+            self._fire,
+            priority=self._priority,
+            name=self._name,
+            housekeeping=self._housekeeping,
         )
 
     def restart(self, delay: float) -> None:

@@ -21,6 +21,21 @@ class SchedulingError(SimulationError):
     """An event was scheduled in the past or on a stopped scheduler."""
 
 
+class BudgetExceededError(SimulationError):
+    """A run exhausted its event budget or horizon without converging.
+
+    Carries an optional ``snapshot`` (a
+    :class:`~repro.experiments.diagnostics.DiagnosticSnapshot`) describing
+    the simulation state at the moment of exhaustion — queue depths, pending
+    timers per node, the tail of the message trace — so non-convergence is
+    debuggable instead of opaque.
+    """
+
+    def __init__(self, message: str, snapshot: object = None) -> None:
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
 class TopologyError(ReproError):
     """A topology is malformed or a generator received invalid parameters."""
 

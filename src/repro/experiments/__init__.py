@@ -1,6 +1,7 @@
 """Experiment harness: scenarios, single runs, sweeps, figures, reports."""
 
 from .config import RunSettings
+from .diagnostics import DiagnosticSnapshot, NodeState, capture_snapshot
 from .report import FigureData, run_summary_table
 from .runner import ExperimentRun, build_network, run_experiment
 from .scenarios import (
@@ -9,31 +10,42 @@ from .scenarios import (
     Scenario,
     custom_tdown,
     custom_tlong,
+    tcrash_clique,
     tdown_clique,
     tdown_internet,
+    tflap_bclique,
     tlong_bclique,
     tlong_internet,
+    treset_clique,
 )
-from .sweep import SweepPoint, series, sweep, xs_of
+from .sweep import SweepPoint, TrialFailure, failures_of, series, sweep, xs_of
 
 __all__ = [
     "DEFAULT_PREFIX",
+    "DiagnosticSnapshot",
     "EventKind",
     "ExperimentRun",
     "FigureData",
+    "NodeState",
     "RunSettings",
     "Scenario",
     "SweepPoint",
+    "TrialFailure",
     "build_network",
+    "capture_snapshot",
     "custom_tdown",
     "custom_tlong",
+    "failures_of",
     "run_experiment",
     "run_summary_table",
     "series",
     "sweep",
+    "tcrash_clique",
     "tdown_clique",
     "tdown_internet",
+    "tflap_bclique",
     "tlong_bclique",
     "tlong_internet",
+    "treset_clique",
     "xs_of",
 ]

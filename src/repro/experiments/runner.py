@@ -6,12 +6,22 @@
    scenario's topology; the destination AS originates the prefix.
 2. Run to quiescence — the warm-up convergence that establishes steady-state
    routing (its messages are excluded from all metrics).
-3. Inject the scenario's event (Tdown origin withdrawal or Tlong link
-   failure) after a short guard interval.
+3. Inject the scenario's event — Tdown origin withdrawal, Tlong link
+   failure, or one of the churn events (session reset, node crash,
+   link flap) — after a short guard interval.
 4. Run to quiescence again, with an event budget as a non-convergence alarm.
+   With the session layer enabled the run gets a *settle* window sized to
+   the hold time, so detections carried by housekeeping timers still fire;
+   quiescence is judged on substantive events only (keepalive heartbeats
+   never block it).
 5. Measure: convergence time from the message trace, packet fates from the
    FIB change log via the epoch evaluator, and per-loop lifetimes from the
    loop timeline.
+
+A run that exhausts its budget or horizon raises
+:class:`~repro.errors.BudgetExceededError` carrying a
+:class:`~repro.experiments.diagnostics.DiagnosticSnapshot` of the dying
+simulation, so sweeps can record the post-mortem and continue.
 """
 
 from __future__ import annotations
@@ -24,9 +34,10 @@ from ..core import LoopStudyResult, loop_timeline, measure_convergence
 from ..core.exploration import RouteChangeLog
 from ..dataplane import EpochEvaluator, FibChangeLog, sources_for
 from ..engine import RandomStreams, Scheduler
-from ..errors import SimulationError
-from ..net import Network
+from ..errors import BudgetExceededError, ConfigError, SchedulingError
+from ..net import LinkFlap, Network, NodeCrash, SessionReset
 from .config import RunSettings
+from .diagnostics import capture_snapshot
 from .scenarios import EventKind, Scenario
 
 PolicyFactory = Callable[[int], RoutingPolicy]
@@ -122,8 +133,29 @@ def run_experiment(
     )
     network.start()
 
+    # Sessions quiesce up to housekeeping heartbeats; the settle window keeps
+    # those heartbeats (and the detections that ride on them — hold expiries)
+    # firing for a bounded quiet period after routing activity stops.
+    settle = None
+    if bgp_config.sessions_enabled:
+        settle = bgp_config.hold_time + bgp_config.effective_keepalive
+
+    def run_phase(until: Optional[float], what: str) -> None:
+        try:
+            scheduler.run(
+                until=until, max_events=settings.event_budget, settle=settle
+            )
+        except SchedulingError as exc:
+            snapshot = capture_snapshot(scheduler, network)
+            raise BudgetExceededError(
+                f"scenario {scenario.name!r} (seed {seed}) exhausted its "
+                f"{settings.event_budget}-event budget during {what}\n"
+                f"{snapshot.render()}",
+                snapshot=snapshot,
+            ) from exc
+
     # Phase 1: warm-up convergence (not part of any metric).
-    scheduler.run(max_events=settings.event_budget)
+    run_phase(None, "warm-up")
     warmup_time = scheduler.now
     failure_time = warmup_time + settings.failure_guard
 
@@ -137,26 +169,41 @@ def run_experiment(
             priority=0,
             name="tdown",
         )
-    else:
+    elif scenario.event is EventKind.TLONG:
         assert scenario.failed_link is not None
         u, v = scenario.failed_link
         network.schedule_link_failure(u, v, failure_time)
+    elif scenario.event is EventKind.TRESET:
+        assert scenario.failed_link is not None
+        u, v = scenario.failed_link
+        SessionReset(u, v, failure_time).inject(network)
+    elif scenario.event is EventKind.TCRASH:
+        assert scenario.crash_node is not None
+        NodeCrash(
+            scenario.crash_node, failure_time, restart_after=scenario.restart_after
+        ).inject(network)
+    elif scenario.event is EventKind.TFLAP:
+        assert scenario.failed_link is not None and scenario.flap_period is not None
+        u, v = scenario.failed_link
+        LinkFlap(
+            u, v, failure_time, scenario.flap_period, count=scenario.flap_count
+        ).inject(network)
+    else:  # pragma: no cover - exhaustive dispatch guard
+        raise ConfigError(f"unknown event kind {scenario.event!r}")
 
     if on_network_ready is not None:
         on_network_ready(network, failure_time)
 
     # Phase 3: post-failure convergence.
-    scheduler.run(
-        until=failure_time + settings.horizon,
-        max_events=settings.event_budget,
-    )
-    if scheduler.peek_time() is not None:
-        raise SimulationError(
-            f"scenario {scenario.name!r} did not converge within the "
-            f"{settings.horizon}s horizon (events still pending at "
-            f"t={scheduler.now})"
+    run_phase(failure_time + settings.horizon, "post-failure convergence")
+    if scheduler.next_substantive_time() is not None:
+        snapshot = capture_snapshot(scheduler, network)
+        raise BudgetExceededError(
+            f"scenario {scenario.name!r} (seed {seed}) did not converge "
+            f"within the {settings.horizon}s horizon\n{snapshot.render()}",
+            snapshot=snapshot,
         )
-    end_time = max(failure_time, scheduler.last_event_time or failure_time)
+    end_time = max(failure_time, scheduler.last_substantive_event_time or failure_time)
 
     # Phase 4: measurement.
     convergence = measure_convergence(network.trace, failure_time)

@@ -1,13 +1,24 @@
-"""Experiment scenarios: a topology plus the §4.1 failure event.
+"""Experiment scenarios: a topology plus the failure event.
 
 A :class:`Scenario` fixes *what breaks where*: the topology, the destination
-AS (which originates the studied prefix), and either a **Tdown** event (the
-destination becomes unreachable — the origin withdraws) or a **Tlong** event
-(one transit link fails; the destination stays reachable over less-preferred
-paths).
+AS (which originates the studied prefix), and the event.  The paper's §4.1
+events are **Tdown** (the destination becomes unreachable — the origin
+withdraws) and **Tlong** (one transit link fails; the destination stays
+reachable over less-preferred paths).
 
-The module provides the paper's concrete scenario families:
-Clique + Tdown, B-Clique + Tlong, and Internet-like graphs with both events.
+Three *churn* events extend the family beyond the paper's single-failure
+model, exercising the session lifecycle:
+
+* **Treset** — the transport session on one link is reset (link stays up);
+  both speakers purge, re-establish, and re-exchange full tables.
+* **Tcrash** — a whole router crashes (queued messages, timers, RIBs lost),
+  optionally restarting cold after ``restart_after`` seconds.
+* **Tflap** — one link fails and recovers ``flap_count`` times with period
+  ``flap_period``, driving repeated withdraw/re-advertise waves.
+
+The module provides the paper's concrete scenario families —
+Clique + Tdown, B-Clique + Tlong, Internet-like graphs with both events —
+plus churn variants of the clique and B-Clique setups.
 """
 
 from __future__ import annotations
@@ -32,15 +43,27 @@ DEFAULT_PREFIX = "dest"
 
 
 class EventKind(enum.Enum):
-    """The two §4.1 topology-change events."""
+    """The two §4.1 topology-change events, plus the churn extensions."""
 
     TDOWN = "tdown"
     TLONG = "tlong"
+    TRESET = "treset"
+    TCRASH = "tcrash"
+    TFLAP = "tflap"
+
+
+#: Events whose trigger is a specific link (``failed_link`` required).
+_LINK_EVENTS = frozenset({EventKind.TLONG, EventKind.TRESET, EventKind.TFLAP})
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """One fully-specified experiment setup."""
+    """One fully-specified experiment setup.
+
+    ``failed_link`` names the link for Tlong (failed), Treset (session
+    reset), and Tflap (flapping).  ``crash_node``/``restart_after`` apply to
+    Tcrash only; ``flap_period``/``flap_count`` to Tflap only.
+    """
 
     name: str
     topology: Topology
@@ -48,25 +71,64 @@ class Scenario:
     event: EventKind
     failed_link: Optional[Tuple[int, int]] = None
     prefix: str = DEFAULT_PREFIX
+    crash_node: Optional[int] = None
+    restart_after: Optional[float] = None
+    flap_period: Optional[float] = None
+    flap_count: int = 1
 
     def __post_init__(self) -> None:
         if not self.topology.has_node(self.destination):
             raise ConfigError(
                 f"destination {self.destination} not in topology {self.topology.name!r}"
             )
-        if self.event is EventKind.TLONG:
+        if self.event in _LINK_EVENTS:
             if self.failed_link is None:
-                raise ConfigError("a Tlong scenario must name the link to fail")
+                raise ConfigError(
+                    f"a {self.event.value} scenario must name the link it targets"
+                )
             u, v = self.failed_link
             if not self.topology.has_edge(u, v):
-                raise ConfigError(f"failed link ({u}, {v}) not in topology")
-            if self.topology.is_cut_edge(u, v):
+                raise ConfigError(f"link ({u}, {v}) not in topology")
+            if self.event is not EventKind.TRESET and self.topology.is_cut_edge(u, v):
+                # A session reset never takes the link down, so a cut edge
+                # is fine there; Tlong/Tflap actually disconnect it.
                 raise ConfigError(
                     f"link ({u}, {v}) is a cut edge; failing it would disconnect "
-                    "the graph, which contradicts Tlong's definition"
+                    "the graph, which contradicts the event's definition"
                 )
         elif self.failed_link is not None:
-            raise ConfigError("a Tdown scenario must not name a failed link")
+            raise ConfigError(
+                f"a {self.event.value} scenario must not name a failed link"
+            )
+        if self.event is EventKind.TCRASH:
+            if self.crash_node is None:
+                raise ConfigError("a Tcrash scenario must name the node to crash")
+            if not self.topology.has_node(self.crash_node):
+                raise ConfigError(f"crash node {self.crash_node} not in topology")
+            if self.crash_node == self.destination:
+                raise ConfigError(
+                    "crashing the destination is a Tdown event, not a Tcrash"
+                )
+            if self.restart_after is not None and self.restart_after <= 0:
+                raise ConfigError(
+                    f"restart_after must be positive, got {self.restart_after}"
+                )
+        elif self.crash_node is not None or self.restart_after is not None:
+            raise ConfigError(
+                f"a {self.event.value} scenario must not set crash fields"
+            )
+        if self.event is EventKind.TFLAP:
+            if self.flap_period is None or self.flap_period <= 0:
+                raise ConfigError(
+                    f"a Tflap scenario needs a positive flap_period, got "
+                    f"{self.flap_period}"
+                )
+            if self.flap_count < 1:
+                raise ConfigError(f"flap_count must be >= 1, got {self.flap_count}")
+        elif self.flap_period is not None:
+            raise ConfigError(
+                f"a {self.event.value} scenario must not set a flap period"
+            )
 
     @property
     def source_nodes(self) -> list:
@@ -156,6 +218,64 @@ def tlong_internet(n: int, seed: int = 0, candidates: int = 8) -> Scenario:
         destination=destination,
         event=EventKind.TLONG,
         failed_link=best[2],
+    )
+
+
+# ----------------------------------------------------------------------
+# Churn scenario families (session lifecycle extensions)
+# ----------------------------------------------------------------------
+
+
+def treset_clique(n: int, link: Optional[Tuple[int, int]] = None) -> Scenario:
+    """Treset in an n-clique: reset one session, watch the re-exchange.
+
+    Defaults to the (0, 1) session — destination-adjacent, so the reset
+    peer must re-learn its best (direct) route to the prefix.
+    """
+    link = link or (0, 1)
+    return Scenario(
+        name=f"treset-clique-{n}",
+        topology=clique(n),
+        destination=0,
+        event=EventKind.TRESET,
+        failed_link=link,
+    )
+
+
+def tcrash_clique(
+    n: int, crash: int = 1, restart_after: Optional[float] = 30.0
+) -> Scenario:
+    """Tcrash in an n-clique: crash a transit AS, optionally restart it.
+
+    The destination stays reachable (every survivor keeps a direct link to
+    AS 0), so the interesting dynamics are the withdraw wave at the crash
+    and the cold re-learning at the restart.
+    """
+    return Scenario(
+        name=f"tcrash-clique-{n}",
+        topology=clique(n),
+        destination=0,
+        event=EventKind.TCRASH,
+        crash_node=crash,
+        restart_after=restart_after,
+    )
+
+
+def tflap_bclique(n: int, period: float, count: int = 3) -> Scenario:
+    """Tflap in a size-n B-Clique: flap the edge-to-core link (0, n).
+
+    The same link Tlong fails once, now failing and recovering ``count``
+    times ``period`` seconds apart — the loop-inducing event repeated
+    faster than (or slower than) the network can converge.
+    """
+    return Scenario(
+        name=f"tflap-bclique-{n}-p{period}",
+        topology=b_clique(n),
+        destination=0,
+        event=EventKind.TFLAP,
+        failed_link=(0, n),
+        flap_period=period,
+        flap_count=count,
     )
 
 

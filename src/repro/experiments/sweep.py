@@ -1,19 +1,29 @@
-"""Parameter sweeps with repeated seeded trials.
+"""Parameter sweeps with repeated seeded trials and per-trial fault isolation.
 
 Every figure in the paper is a sweep: an x-axis (topology size or MRAI
 value), one or more measured series, each point averaged over repeated runs
 ("the simulation were repeated for a number of times").  :func:`sweep`
 captures that pattern once so the per-figure drivers stay declarative.
+
+Churn sweeps add a survivability requirement: a single pathological
+(scenario, seed) pair — a flap period that resonates with MRAI, a crash that
+trips the event budget — must not destroy the other trials' work.  By
+default a failed trial is recorded as a :class:`TrialFailure` (with the
+post-mortem :class:`~repro.experiments.diagnostics.DiagnosticSnapshot` when
+the runner captured one) and the sweep continues; each
+:class:`SweepPoint` reports how many of its trials succeeded.  Programming
+errors — :class:`~repro.errors.ProtocolError`, bad configuration — still
+propagate: they invalidate the whole sweep, not one trial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..bgp import BgpConfig
 from ..core import LoopStudyResult
-from ..errors import AnalysisError
+from ..errors import AnalysisError, SimulationError
 from ..util.stats import mean
 from .config import RunSettings
 from .runner import ExperimentRun, run_experiment
@@ -26,28 +36,70 @@ ConfigFactory = Callable[[float], BgpConfig]
 """``factory(x) -> BgpConfig`` for the sweep's x value."""
 
 
+@dataclass(frozen=True)
+class TrialFailure:
+    """One trial that died, preserved for the post-mortem."""
+
+    x: float
+    seed: int
+    error: SimulationError
+
+    @property
+    def snapshot(self):
+        """The diagnostic snapshot, when the runner captured one."""
+        return getattr(self.error, "snapshot", None)
+
+    def __repr__(self) -> str:
+        return f"TrialFailure(x={self.x}, seed={self.seed}: {self.error})"
+
+
 @dataclass
 class SweepPoint:
-    """All trials at one x value."""
+    """All trials at one x value, successful and failed."""
 
     x: float
     runs: List[ExperimentRun] = field(default_factory=list)
+    failures: List[TrialFailure] = field(default_factory=list)
 
     @property
     def results(self) -> List[LoopStudyResult]:
         return [run.result for run in self.runs]
 
+    @property
+    def trials(self) -> int:
+        """Trials attempted at this point."""
+        return len(self.runs) + len(self.failures)
+
+    @property
+    def succeeded(self) -> int:
+        """Trials that completed and were measured."""
+        return len(self.runs)
+
+    @property
+    def failed(self) -> int:
+        """Trials that died (recorded in :attr:`failures`)."""
+        return len(self.failures)
+
     def mean_metric(self, name: str) -> float:
-        """Trial-mean of one ``LoopStudyResult.summary_row()`` metric."""
+        """Trial-mean of one ``LoopStudyResult.summary_row()`` metric.
+
+        Computed over the *successful* trials; raises when none survived.
+        """
         values = [result.summary_row()[name] for result in self.results]
         if not values:
-            raise AnalysisError(f"no runs at x={self.x}")
+            raise AnalysisError(
+                f"no successful runs at x={self.x} "
+                f"({self.failed} of {self.trials} trials failed)"
+            )
         return mean(values)
 
     def metrics(self) -> Dict[str, float]:
-        """Trial-mean of every summary metric."""
+        """Trial-mean of every summary metric (successful trials only)."""
         if not self.runs:
-            raise AnalysisError(f"no runs at x={self.x}")
+            raise AnalysisError(
+                f"no successful runs at x={self.x} "
+                f"({self.failed} of {self.trials} trials failed)"
+            )
         keys = self.results[0].summary_row().keys()
         return {key: self.mean_metric(key) for key in keys}
 
@@ -58,6 +110,8 @@ def sweep(
     make_config: ConfigFactory,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    on_error: str = "record",
+    on_trial_error: Optional[Callable[[TrialFailure], None]] = None,
 ) -> List[SweepPoint]:
     """Run ``len(xs) × len(seeds)`` experiments and group them by x.
 
@@ -65,22 +119,50 @@ def sweep(
     (Internet-derived destination/link choice) vary across trials, exactly
     as the paper repeats runs "with different destination ASes and failed
     links".
+
+    ``on_error`` controls trial fault isolation:
+
+    * ``"record"`` (default) — a trial that raises
+      :class:`~repro.errors.SimulationError` (budget exhaustion,
+      non-convergence) is appended to its point's ``failures`` and the
+      sweep continues; ``on_trial_error`` (if given) observes each failure
+      as it happens, e.g. to log progress.
+    * ``"raise"`` — the first failing trial aborts the sweep (the seed's
+      behavior; useful when any failure means the setup itself is wrong).
+
+    Non-simulation errors (protocol invariant violations, bad
+    configuration) always propagate.
     """
     if not xs:
         raise AnalysisError("sweep needs at least one x value")
     if not seeds:
         raise AnalysisError("sweep needs at least one seed")
+    if on_error not in ("record", "raise"):
+        raise AnalysisError(f"on_error must be 'record' or 'raise', got {on_error!r}")
     points: List[SweepPoint] = []
     for x in xs:
         point = SweepPoint(x=x)
         for seed in seeds:
             scenario = make_scenario(x, seed)
             config = make_config(x)
-            point.runs.append(
-                run_experiment(scenario, config, settings=settings, seed=seed)
-            )
+            try:
+                point.runs.append(
+                    run_experiment(scenario, config, settings=settings, seed=seed)
+                )
+            except SimulationError as exc:
+                if on_error == "raise":
+                    raise
+                failure = TrialFailure(x=x, seed=seed, error=exc)
+                point.failures.append(failure)
+                if on_trial_error is not None:
+                    on_trial_error(failure)
         points.append(point)
     return points
+
+
+def failures_of(points: Sequence[SweepPoint]) -> List[TrialFailure]:
+    """Every recorded trial failure across the sweep, in run order."""
+    return [failure for point in points for failure in point.failures]
 
 
 def series(points: Sequence[SweepPoint], metric: str) -> List[float]:

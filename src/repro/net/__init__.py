@@ -10,8 +10,11 @@ from .channel import Channel
 from .failures import (
     FailureSchedule,
     LinkFailure,
+    LinkFlap,
     LinkRestore,
+    NodeCrash,
     OriginWithdrawal,
+    SessionReset,
     flap,
 )
 from .link import Link
@@ -24,12 +27,15 @@ __all__ = [
     "FailureSchedule",
     "Link",
     "LinkFailure",
+    "LinkFlap",
     "LinkRestore",
     "MessageTrace",
     "Network",
     "Node",
+    "NodeCrash",
     "NodeFactory",
     "OriginWithdrawal",
+    "SessionReset",
     "TraceRecord",
     "flap",
     "zero_service_time",

@@ -100,6 +100,9 @@ class Channel:
             arrive,
             priority=EventPriority.DELIVERY,
             name=f"deliver:{self.src}->{self.dst}",
+            # Messages that declare themselves housekeeping (keepalives)
+            # do not block quiescence detection.
+            housekeeping=bool(getattr(message, "HOUSEKEEPING", False)),
         )
         self._in_flight_events.append(event)
         if len(self._in_flight_events) > 64:
@@ -111,14 +114,12 @@ class Channel:
                 if not e.cancelled and e.time > now
             ]
 
-    def take_down(self) -> int:
-        """Kill the channel, destroying in-flight messages.
+    def drop_in_flight(self) -> int:
+        """Destroy every message currently propagating (TCP session reset).
 
-        Returns the number of messages destroyed.  Idempotent.
+        The channel's up/down state is untouched.  Returns the number of
+        messages destroyed.
         """
-        if not self._up:
-            return 0
-        self._up = False
         for event in self._in_flight_events:
             event.cancel()  # no-op for handles that already fired
         self._in_flight_events.clear()
@@ -127,6 +128,16 @@ class Channel:
         )
         self._messages_dropped += destroyed
         return destroyed
+
+    def take_down(self) -> int:
+        """Kill the channel, destroying in-flight messages.
+
+        Returns the number of messages destroyed.  Idempotent.
+        """
+        if not self._up:
+            return 0
+        self._up = False
+        return self.drop_in_flight()
 
     def bring_up(self) -> None:
         """Restore a down channel (fresh TCP session, empty pipe)."""

@@ -1,8 +1,9 @@
 """Failure-scenario helpers.
 
 The paper drives every experiment with a single topology-change event.  This
-module names the two event shapes (§4.1) and provides small injectors that
-compose with :class:`~repro.net.network.Network`:
+module names the two event shapes (§4.1) plus the *churn* events real BGP
+deployments are dominated by, as small injectors that compose with
+:class:`~repro.net.network.Network`:
 
 * **Tdown** — "the destination AS becomes unreachable from the rest of the
   network": the destination's attachment to its destination host is lost, so
@@ -10,6 +11,13 @@ compose with :class:`~repro.net.network.Network`:
 * **Tlong** — "a link in the network fails, which does not disconnect the
   destination AS but forces the rest of the network to use less preferred
   paths": one specific transit link is failed.
+* **Session reset** (:class:`SessionReset`) — the transport session between
+  two adjacent speakers dies while the link stays up; in-flight updates are
+  lost and the peers must re-establish and re-exchange their tables.
+* **Node crash** (:class:`NodeCrash`) — a whole router loses its queued
+  messages, timers, and RIBs; an optional restart brings it back cold.
+* **Link flap** (:class:`LinkFlap`) — a link fails and recovers repeatedly,
+  composed from :class:`LinkFailure`/:class:`LinkRestore` pairs.
 
 The protocol-specific half of Tdown (withdrawing an origination) lives on the
 protocol node (:meth:`BgpSpeaker.withdraw_origin`); the injector here just
@@ -48,6 +56,94 @@ class LinkRestore:
 
     def inject(self, network: Network) -> None:
         network.schedule_link_restore(self.u, self.v, self.at)
+
+
+@dataclass(frozen=True)
+class SessionReset:
+    """Reset the transport session on link ``{u, v}`` at time ``at``.
+
+    The physical link stays up; in-flight messages die with the connection
+    and both endpoints get their ``on_session_reset`` hook.
+    """
+
+    u: int
+    v: int
+    at: float
+
+    def inject(self, network: Network) -> None:
+        network.schedule_session_reset(self.u, self.v, self.at)
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Crash ``node`` at time ``at``; optionally restart it later.
+
+    The crash destroys the router's queued messages, timers, and RIBs, and
+    takes every incident link down.  ``restart_after`` seconds later (if not
+    ``None``) the router comes back cold — empty RIBs, configured
+    originations intact — and re-learns the topology as its links return.
+    ``silent`` suppresses the neighbors' interface-down notification, so
+    they only notice via their own liveness machinery (BGP hold timers).
+    """
+
+    node: int
+    at: float
+    restart_after: Optional[float] = None
+    silent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.restart_after is not None and self.restart_after <= 0:
+            raise NetworkError(
+                f"restart_after must be positive, got {self.restart_after}"
+            )
+
+    def inject(self, network: Network) -> None:
+        network.schedule_node_crash(self.node, self.at, silent=self.silent)
+        if self.restart_after is not None:
+            network.schedule_node_restart(self.node, self.at + self.restart_after)
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Fail and restore link ``{u, v}`` repeatedly, starting at ``at``.
+
+    Flap ``k`` (0-based) fails the link at ``at + k*period`` and restores it
+    ``duty * period`` seconds later, so consecutive failures are spaced one
+    ``period`` apart and the link ends the sequence *up*.
+    """
+
+    u: int
+    v: int
+    at: float
+    period: float
+    count: int = 1
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise NetworkError(f"flap period must be positive, got {self.period}")
+        if self.count < 1:
+            raise NetworkError(f"flap count must be >= 1, got {self.count}")
+        if not 0 < self.duty < 1:
+            raise NetworkError(f"flap duty must be in (0, 1), got {self.duty}")
+
+    def events(self) -> List[object]:
+        """The failure/restore pairs this flap expands to, in time order."""
+        expanded: List[object] = []
+        for k in range(self.count):
+            down_at = self.at + k * self.period
+            expanded.append(LinkFailure(self.u, self.v, down_at))
+            expanded.append(LinkRestore(self.u, self.v, down_at + self.duty * self.period))
+        return expanded
+
+    @property
+    def last_restore_at(self) -> float:
+        """Time the final restore fires (the churn stops changing topology)."""
+        return self.at + (self.count - 1) * self.period + self.duty * self.period
+
+    def inject(self, network: Network) -> None:
+        for event in self.events():
+            event.inject(network)
 
 
 @dataclass(frozen=True)

@@ -72,6 +72,14 @@ class Link:
         """Fail the link in both directions; returns messages destroyed."""
         return self._to_v.take_down() + self._to_u.take_down()
 
+    def reset(self) -> int:
+        """Drop all in-flight messages in both directions, staying up.
+
+        Models the transport (TCP) connection dying underneath a healthy
+        link — a BGP session reset.  Returns messages destroyed.
+        """
+        return self._to_v.drop_in_flight() + self._to_u.drop_in_flight()
+
     def bring_up(self) -> None:
         """Repair the link in both directions."""
         self._to_v.bring_up()

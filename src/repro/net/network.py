@@ -51,6 +51,9 @@ class Network:
         self.trace = MessageTrace()
         self.nodes: Dict[int, Node] = {}
         self._links: Dict[Tuple[int, int], Link] = {}
+        # node -> links its crash took down (restored on restart, unless the
+        # far endpoint is itself still crashed).
+        self._crashed: Dict[int, List[Tuple[int, int]]] = {}
 
         for node_id in topology.nodes:
             node = node_factory(node_id, scheduler)
@@ -91,6 +94,10 @@ class Network:
         """True when the adjacency exists and has not been failed."""
         link = self._links.get(_edge_key(u, v))
         return link is not None and link.up
+
+    def node_is_up(self, node_id: int) -> bool:
+        """True when the node exists and is not currently crashed."""
+        return node_id in self.nodes and node_id not in self._crashed
 
     def live_neighbors(self, node_id: int) -> List[int]:
         """Neighbors of ``node_id`` reachable over currently-up links."""
@@ -165,6 +172,103 @@ class Network:
         self.link(u, v)
         self.scheduler.call_at(
             at, lambda: self.restore_link(u, v), priority=0, name=f"restore:{u}-{v}"
+        )
+
+    # ------------------------------------------------------------------
+    # Session and whole-node fault injection
+    # ------------------------------------------------------------------
+
+    def reset_session(self, u: int, v: int) -> None:
+        """Reset the transport session on link ``{u, v}``; the link stays up.
+
+        In-flight messages in both directions are destroyed (the TCP
+        connection carrying them is gone) and both endpoints get their
+        :meth:`Node.on_session_reset` hook, after which re-establishment —
+        and the full-table re-exchange it triggers — is the protocol's job.
+        """
+        link = self.link(u, v)
+        link.reset()
+        self.nodes[u].on_session_reset(v)
+        self.nodes[v].on_session_reset(u)
+
+    def crash_node(self, node_id: int, silent: bool = False) -> None:
+        """Crash ``node_id`` now: queued messages, timers, and RIBs are lost.
+
+        Every incident link that was up is taken down (in-flight messages
+        destroyed).  With ``silent=False`` the surviving endpoints are
+        notified immediately (interface-level detection of the dead router);
+        ``silent=True`` leaves them to discover the loss through their own
+        liveness machinery (BGP hold timers).  Idempotent on an
+        already-crashed node.
+        """
+        node = self.node(node_id)
+        if node_id in self._crashed:
+            return
+        took_down: List[Tuple[int, int]] = []
+        for nbr in sorted(self.topology.neighbors(node_id)):
+            link = self._links[_edge_key(node_id, nbr)]
+            if link.up:
+                link.take_down()
+                took_down.append(_edge_key(node_id, nbr))
+                if not silent:
+                    self.nodes[nbr].on_link_down(node_id)
+        self._crashed[node_id] = took_down
+        node.crash()
+
+    def restart_node(self, node_id: int) -> None:
+        """Restart a crashed node: it comes back cold and re-learns.
+
+        Links its crash took down are restored (both endpoints notified),
+        except toward peers that are themselves still crashed — those links
+        come back when the last-down peer restarts.  No-op on a node that is
+        not crashed.
+        """
+        node = self.node(node_id)
+        took_down = self._crashed.pop(node_id, None)
+        if took_down is None:
+            return
+        node.restart()
+        for key in took_down:
+            u, v = key
+            other = v if u == node_id else u
+            if other in self._crashed:
+                # The far end is still down; hand the link over to its
+                # crash record so its restart restores it.
+                self._crashed[other].append(key)
+                continue
+            link = self._links[key]
+            if not link.up:
+                link.bring_up()
+                self.nodes[u].on_link_up(v)
+                self.nodes[v].on_link_up(u)
+
+    def schedule_session_reset(self, u: int, v: int, at: float) -> None:
+        """Arrange for ``reset_session(u, v)`` at absolute time ``at``."""
+        self.link(u, v)  # validate now, reset later
+        self.scheduler.call_at(
+            at, lambda: self.reset_session(u, v), priority=0, name=f"reset:{u}-{v}"
+        )
+
+    def schedule_node_crash(
+        self, node_id: int, at: float, silent: bool = False
+    ) -> None:
+        """Arrange for ``crash_node(node_id, silent)`` at absolute time ``at``."""
+        self.node(node_id)
+        self.scheduler.call_at(
+            at,
+            lambda: self.crash_node(node_id, silent=silent),
+            priority=0,
+            name=f"crash:{node_id}",
+        )
+
+    def schedule_node_restart(self, node_id: int, at: float) -> None:
+        """Arrange for ``restart_node(node_id)`` at absolute time ``at``."""
+        self.node(node_id)
+        self.scheduler.call_at(
+            at,
+            lambda: self.restart_node(node_id),
+            priority=0,
+            name=f"restart:{node_id}",
         )
 
     # ------------------------------------------------------------------

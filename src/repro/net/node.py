@@ -33,6 +33,9 @@ class Node:
     * :meth:`handle_message` — a message finished its processing delay,
     * :meth:`on_link_down` / :meth:`on_link_up` — adjacency state changed
       (invoked immediately, modeling interface-level failure detection),
+    * :meth:`on_session_reset` — the transport session to a neighbor was
+      torn down while the physical link stayed up,
+    * :meth:`crash` / :meth:`restart` — whole-router fault injection,
     * :meth:`start` — the simulation is about to begin.
     """
 
@@ -47,7 +50,9 @@ class Node:
         self._service_time = service_time
         self.processor = SerialProcessor(scheduler, name=f"node-{node_id}")
         self._network: "Network" = None  # type: ignore[assignment]
+        self.alive = True
         self.messages_received = 0
+        self.messages_dropped_dead = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -83,10 +88,20 @@ class Node:
         self.network.send(self.node_id, neighbor, message)
 
     def deliver(self, src: int, message: Any) -> None:
-        """Channel callback: queue the message for CPU service."""
+        """Channel callback: queue the message for CPU service.
+
+        A crashed node's interfaces are dark: deliveries are silently lost.
+        Messages flagged ``HOUSEKEEPING`` (keepalives) are processed in
+        housekeeping service slots that do not block quiescence detection.
+        """
+        if not self.alive:
+            self.messages_dropped_dead += 1
+            return
         self.messages_received += 1
         self.processor.submit(
-            self._service_time(), lambda: self.handle_message(src, message)
+            self._service_time(),
+            lambda: self.handle_message(src, message),
+            housekeeping=bool(getattr(message, "HOUSEKEEPING", False)),
         )
 
     # ------------------------------------------------------------------
@@ -105,6 +120,35 @@ class Node:
 
     def on_link_up(self, neighbor: int) -> None:
         """The adjacency to ``neighbor`` just recovered; default does nothing."""
+
+    def on_session_reset(self, neighbor: int) -> None:
+        """The transport session to ``neighbor`` was reset (link stays up).
+
+        Default does nothing — protocols without a session concept are
+        unaffected by a TCP reset.
+        """
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Go dark: lose the CPU queue; subclasses drop protocol state too.
+
+        Called by :meth:`Network.crash_node`; do not call directly or the
+        network's link bookkeeping is skipped.
+        """
+        self.alive = False
+        self.processor.clear()
+
+    def restart(self) -> None:
+        """Come back up cold; subclasses re-seed their configured state.
+
+        Invoked by :meth:`Network.restart_node` *before* the node's links
+        are restored, so a restarting protocol sees its adjacencies come up
+        one `on_link_up` at a time — exactly like a cold boot.
+        """
+        self.alive = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} id={self.node_id}>"

@@ -8,10 +8,13 @@ from repro.experiments import (
     Scenario,
     custom_tdown,
     custom_tlong,
+    tcrash_clique,
     tdown_clique,
     tdown_internet,
+    tflap_bclique,
     tlong_bclique,
     tlong_internet,
+    treset_clique,
 )
 from repro.topology import chain, clique
 
@@ -89,3 +92,80 @@ class TestFamilies:
         scenario = custom_tdown(chain(4), destination=3)
         assert scenario.event is EventKind.TDOWN
         assert scenario.destination == 3
+
+
+class TestChurnScenarios:
+    def test_treset_clique_targets_a_session(self):
+        scenario = treset_clique(5)
+        assert scenario.event is EventKind.TRESET
+        assert scenario.failed_link == (0, 1)
+        assert scenario.topology.has_edge(0, 1)
+
+    def test_treset_allows_cut_edges(self):
+        # A session reset never takes the link down, so a bridge is fine.
+        scenario = Scenario(
+            name="x",
+            topology=chain(3),
+            destination=0,
+            event=EventKind.TRESET,
+            failed_link=(0, 1),
+        )
+        assert scenario.failed_link == (0, 1)
+
+    def test_treset_requires_a_link(self):
+        with pytest.raises(ConfigError, match="must name the link"):
+            Scenario(
+                name="x", topology=clique(3), destination=0, event=EventKind.TRESET
+            )
+
+    def test_tcrash_clique_defaults(self):
+        scenario = tcrash_clique(5)
+        assert scenario.event is EventKind.TCRASH
+        assert scenario.crash_node == 1
+        assert scenario.restart_after == pytest.approx(30.0)
+
+    def test_tcrash_requires_crash_node(self):
+        with pytest.raises(ConfigError, match="must name the node"):
+            Scenario(
+                name="x", topology=clique(3), destination=0, event=EventKind.TCRASH
+            )
+
+    def test_tcrash_rejects_crashing_the_destination(self):
+        with pytest.raises(ConfigError, match="Tdown"):
+            tcrash_clique(4, crash=0)
+
+    def test_tcrash_rejects_nonpositive_restart(self):
+        with pytest.raises(ConfigError, match="restart_after"):
+            tcrash_clique(4, restart_after=0.0)
+
+    def test_crash_fields_rejected_on_other_events(self):
+        with pytest.raises(ConfigError, match="crash fields"):
+            Scenario(
+                name="x",
+                topology=clique(3),
+                destination=0,
+                event=EventKind.TDOWN,
+                crash_node=1,
+            )
+
+    def test_tflap_bclique_is_well_formed(self):
+        scenario = tflap_bclique(4, period=10.0, count=2)
+        assert scenario.event is EventKind.TFLAP
+        assert scenario.failed_link == (0, 4)
+        assert scenario.flap_period == pytest.approx(10.0)
+        assert scenario.flap_count == 2
+
+    def test_tflap_requires_positive_period(self):
+        with pytest.raises(ConfigError, match="flap_period"):
+            tflap_bclique(4, period=0.0)
+
+    def test_flap_fields_rejected_on_other_events(self):
+        with pytest.raises(ConfigError, match="flap period"):
+            Scenario(
+                name="x",
+                topology=clique(3),
+                destination=0,
+                event=EventKind.TLONG,
+                failed_link=(0, 1),
+                flap_period=5.0,
+            )
