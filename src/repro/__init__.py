@@ -14,6 +14,13 @@ figure of the paper's evaluation, and DESIGN.md / EXPERIMENTS.md at the
 repository root for the system inventory and the reproduced results.
 """
 
+from .analysis import (
+    DeterminismReport,
+    SanitizerSuite,
+    build_suite,
+    check_determinism,
+    lint_paths,
+)
 from .bgp import (
     AsPath,
     BgpConfig,
@@ -67,6 +74,7 @@ __all__ = [
     "BgpSpeaker",
     "CbrSource",
     "DataPlaneReport",
+    "DeterminismReport",
     "EpochEvaluator",
     "ExperimentRun",
     "FibChangeLog",
@@ -80,6 +88,7 @@ __all__ = [
     "Route",
     "RoutingPolicy",
     "RunSettings",
+    "SanitizerSuite",
     "Scenario",
     "Scheduler",
     "ShortestPathPolicy",
@@ -87,10 +96,13 @@ __all__ = [
     "VARIANT_NAMES",
     "all_variants",
     "b_clique",
+    "build_suite",
+    "check_determinism",
     "clique",
     "find_loops",
     "internet_like",
     "is_loop_free",
+    "lint_paths",
     "loop_timeline",
     "measure_convergence",
     "run_experiment",

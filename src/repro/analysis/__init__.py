@@ -1,0 +1,50 @@
+"""Simulation correctness tooling.
+
+Two prongs guard the repository's reproducibility contract:
+
+* :mod:`repro.analysis.lint` — a static AST pass with
+  simulation-specific determinism rules (no wall clock, no unseeded
+  randomness, no unordered iteration on emission paths, no mutable
+  defaults, no float timestamp equality), run as ``python -m repro
+  lint`` and in CI;
+* :mod:`repro.analysis.sanitizers` — opt-in runtime invariant checkers
+  (causality, per-channel FIFO, RIB coherence) wired into the engine,
+  net, and BGP layers through a lightweight invariant-hook API; plus
+  :mod:`repro.analysis.determinism`, the dual-run harness that proves a
+  scenario bit-for-bit reproducible under a fixed seed.
+"""
+
+from .determinism import (
+    DeterminismReport,
+    RunFingerprint,
+    check_determinism,
+    fingerprint_run,
+)
+from .lint import RULES, LintViolation, lint_paths, lint_source
+from .sanitizers import (
+    SANITIZER_NAMES,
+    CausalitySanitizer,
+    FifoSanitizer,
+    InvariantHooks,
+    RibCoherenceSanitizer,
+    SanitizerSuite,
+    build_suite,
+)
+
+__all__ = [
+    "CausalitySanitizer",
+    "DeterminismReport",
+    "FifoSanitizer",
+    "InvariantHooks",
+    "LintViolation",
+    "RULES",
+    "RibCoherenceSanitizer",
+    "RunFingerprint",
+    "SANITIZER_NAMES",
+    "SanitizerSuite",
+    "build_suite",
+    "check_determinism",
+    "fingerprint_run",
+    "lint_paths",
+    "lint_source",
+]

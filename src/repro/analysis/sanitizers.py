@@ -1,0 +1,318 @@
+"""Opt-in runtime sanitizers: simulation invariants checked while running.
+
+The static linter (:mod:`repro.analysis.lint`) catches nondeterminism
+*patterns*; the sanitizers catch invariant *violations* in a live
+simulation.  They hang off a deliberately lightweight hook API so that
+instrumentation points stay cheap when no sanitizer is installed:
+
+* the :class:`~repro.engine.scheduler.Scheduler` owns an optional
+  ``invariants`` object (installed via ``install_invariants``); it calls
+  ``on_schedule`` / ``on_event_fired``,
+* :class:`~repro.net.channel.Channel` stamps every message with a
+  ``(generation, sequence)`` pair and calls ``on_channel_send`` /
+  ``on_channel_deliver`` / ``on_channel_flush`` through the scheduler's
+  hook object,
+* :class:`~repro.bgp.speaker.BgpSpeaker` calls ``on_decision`` after
+  every decision-process run and ``on_announcement`` /
+  ``on_withdrawal`` just before emitting an update.
+
+Every layer guards with ``if hooks is not None``, so the zero-sanitizer
+fast path costs one attribute read.  Future subsystems get invariant
+checking by adding a hook method to :class:`InvariantHooks` (default
+no-op) and calling it from their layer.
+
+The shipped sanitizers:
+
+:class:`CausalitySanitizer`
+    No event may be scheduled before current simulation time, and fired
+    events must be non-decreasing in time.
+:class:`FifoSanitizer`
+    Per-channel sequence numbers assert reliable in-order delivery:
+    within one channel generation (generations advance when in-flight
+    messages are destroyed), delivered sequence numbers are exactly
+    contiguous and arrival times non-decreasing.
+:class:`RibCoherenceSanitizer`
+    A speaker's Loc-RIB entry is always the decision-process winner over
+    its Adj-RIB-In, the FIB mirrors the Loc-RIB, and rate-limited
+    updates are only emitted when their MRAI timer permits.
+
+Violations raise :class:`~repro.errors.SanitizerError`, which derives
+from :class:`~repro.errors.ReproError` but *not* from
+``SimulationError`` — a tripped sanitizer is a simulator bug, so sweeps
+must not absorb it as an ordinary trial failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SanitizerError
+
+#: Names accepted by :func:`build_suite`, in canonical order.
+SANITIZER_NAMES = ("causality", "fifo", "rib")
+
+
+class InvariantHooks:
+    """The invariant-hook API: every method is a no-op by default.
+
+    Layers call these at their instrumentation points; subclasses
+    override the ones they care about.  ``describe()`` feeds diagnostic
+    snapshots, so implementations should keep cheap counters.
+    """
+
+    # -- engine --------------------------------------------------------
+
+    def on_schedule(
+        self, now: float, time: float, name: Optional[str], housekeeping: bool
+    ) -> None:
+        """An event is being inserted into the scheduler heap."""
+
+    def on_event_fired(self, now: float, time: float, name: Optional[str]) -> None:
+        """A (non-cancelled) event was popped and is about to run."""
+
+    # -- net -----------------------------------------------------------
+
+    def on_channel_send(
+        self, src: int, dst: int, generation: int, sequence: int, time: float
+    ) -> None:
+        """A message was accepted by channel ``src -> dst``."""
+
+    def on_channel_deliver(
+        self, src: int, dst: int, generation: int, sequence: int, time: float
+    ) -> None:
+        """A message is arriving at ``dst`` from ``src``."""
+
+    def on_channel_flush(self, src: int, dst: int, generation: int) -> None:
+        """The channel destroyed its in-flight messages (reset/link down)."""
+
+    # -- bgp -----------------------------------------------------------
+
+    def on_decision(self, speaker: Any, prefix: str) -> None:
+        """A speaker finished running its decision process for ``prefix``."""
+
+    def on_announcement(self, speaker: Any, peer: int, prefix: str, path: Any) -> None:
+        """A speaker is about to send an announcement to ``peer``."""
+
+    def on_withdrawal(self, speaker: Any, peer: int, prefix: str) -> None:
+        """A speaker is about to send a withdrawal to ``peer``."""
+
+    # -- reporting -----------------------------------------------------
+
+    def describe(self) -> List[str]:
+        """Human-readable state lines for diagnostic snapshots."""
+        return []
+
+
+class CausalitySanitizer(InvariantHooks):
+    """No time travel: scheduling into the past or firing out of order."""
+
+    def __init__(self) -> None:
+        self.schedules_checked = 0
+        self.events_checked = 0
+        self._last_fired: Optional[float] = None
+
+    def on_schedule(
+        self, now: float, time: float, name: Optional[str], housekeeping: bool
+    ) -> None:
+        self.schedules_checked += 1
+        if time < now:
+            raise SanitizerError(
+                f"causality: event {name or '<anonymous>'!r} scheduled at "
+                f"t={time} while the clock is at t={now}"
+            )
+
+    def on_event_fired(self, now: float, time: float, name: Optional[str]) -> None:
+        self.events_checked += 1
+        if self._last_fired is not None and time < self._last_fired:
+            raise SanitizerError(
+                f"causality: event {name or '<anonymous>'!r} fired at "
+                f"t={time}, after an event at t={self._last_fired}"
+            )
+        self._last_fired = time
+
+    def describe(self) -> List[str]:
+        return [
+            f"causality: {self.schedules_checked} schedules, "
+            f"{self.events_checked} firings checked"
+        ]
+
+
+class FifoSanitizer(InvariantHooks):
+    """Reliable in-order delivery per channel generation.
+
+    A channel generation ends whenever in-flight messages are destroyed
+    (session reset, link failure); within a generation the delivered
+    sequence numbers must form the exact contiguous prefix of the sent
+    ones, and arrival times must be non-decreasing.
+    """
+
+    def __init__(self) -> None:
+        self.deliveries_checked = 0
+        # (src, dst) -> (generation, last delivered seq, last arrival time)
+        self._state: Dict[Tuple[int, int], Tuple[int, int, float]] = {}
+
+    def on_channel_deliver(
+        self, src: int, dst: int, generation: int, sequence: int, time: float
+    ) -> None:
+        self.deliveries_checked += 1
+        key = (src, dst)
+        gen, last_seq, last_time = self._state.get(key, (generation, 0, time))
+        if generation < gen:
+            raise SanitizerError(
+                f"fifo: channel {src}->{dst} delivered a message from dead "
+                f"generation {generation} (current {gen})"
+            )
+        if generation > gen:
+            gen, last_seq = generation, 0
+        if sequence != last_seq + 1:
+            raise SanitizerError(
+                f"fifo: channel {src}->{dst} delivered seq {sequence} after "
+                f"seq {last_seq} (generation {gen}); reliable FIFO requires "
+                f"{last_seq + 1}"
+            )
+        if time < last_time:
+            raise SanitizerError(
+                f"fifo: channel {src}->{dst} delivery at t={time} precedes "
+                f"the previous delivery at t={last_time}"
+            )
+        self._state[key] = (gen, sequence, time)
+
+    def on_channel_flush(self, src: int, dst: int, generation: int) -> None:
+        # The flushed generation is over; whatever was undelivered stays
+        # undelivered.  Remember the bump so stale deliveries are caught.
+        key = (src, dst)
+        state = self._state.get(key)
+        if state is not None and generation >= state[0]:
+            self._state[key] = (generation + 1, 0, state[2])
+
+    def describe(self) -> List[str]:
+        return [
+            f"fifo: {self.deliveries_checked} deliveries over "
+            f"{len(self._state)} channels checked"
+        ]
+
+
+class RibCoherenceSanitizer(InvariantHooks):
+    """Loc-RIB/FIB coherence and MRAI discipline for every speaker."""
+
+    def __init__(self) -> None:
+        self.decisions_checked = 0
+        self.updates_checked = 0
+
+    def on_decision(self, speaker: Any, prefix: str) -> None:
+        self.decisions_checked += 1
+        expected = speaker._select_best(prefix)
+        actual = speaker.loc_rib.get(prefix)
+        if expected != actual:
+            raise SanitizerError(
+                f"rib: node {speaker.node_id} loc-rib for {prefix!r} holds "
+                f"{actual!r} but the decision process selects {expected!r}"
+            )
+        fib_hop = speaker.fib.get(prefix)
+        if expected is None:
+            if fib_hop is not None:
+                raise SanitizerError(
+                    f"rib: node {speaker.node_id} forwards {prefix!r} via "
+                    f"{fib_hop} with no route selected"
+                )
+        else:
+            want = speaker.node_id if expected.is_local else expected.next_hop
+            if fib_hop != want:
+                raise SanitizerError(
+                    f"rib: node {speaker.node_id} FIB hop {fib_hop} does not "
+                    f"match best-route hop {want} for {prefix!r}"
+                )
+
+    def on_announcement(self, speaker: Any, peer: int, prefix: str, path: Any) -> None:
+        self.updates_checked += 1
+        if path and path[0] != speaker.node_id:
+            raise SanitizerError(
+                f"rib: node {speaker.node_id} announcing a path headed by "
+                f"{path[0]} to peer {peer}"
+            )
+        if not speaker.mrai.can_send_now(peer, prefix):
+            raise SanitizerError(
+                f"rib: node {speaker.node_id} announced {prefix!r} to "
+                f"{peer} while its MRAI timer was running"
+            )
+
+    def on_withdrawal(self, speaker: Any, peer: int, prefix: str) -> None:
+        self.updates_checked += 1
+        from ..bgp.variants import withdrawals_rate_limited
+
+        if withdrawals_rate_limited(speaker.config) and not speaker.mrai.can_send_now(
+            peer, prefix
+        ):
+            raise SanitizerError(
+                f"rib: node {speaker.node_id} sent a WRATE-limited withdrawal "
+                f"for {prefix!r} to {peer} while its MRAI timer was running"
+            )
+
+    def describe(self) -> List[str]:
+        return [
+            f"rib: {self.decisions_checked} decisions, "
+            f"{self.updates_checked} updates checked"
+        ]
+
+
+class SanitizerSuite(InvariantHooks):
+    """A set of sanitizers dispatched from every instrumentation point."""
+
+    def __init__(self, sanitizers: Sequence[InvariantHooks]) -> None:
+        self.sanitizers: Tuple[InvariantHooks, ...] = tuple(sanitizers)
+
+    def on_schedule(self, now, time, name, housekeeping) -> None:
+        for sanitizer in self.sanitizers:
+            sanitizer.on_schedule(now, time, name, housekeeping)
+
+    def on_event_fired(self, now, time, name) -> None:
+        for sanitizer in self.sanitizers:
+            sanitizer.on_event_fired(now, time, name)
+
+    def on_channel_send(self, src, dst, generation, sequence, time) -> None:
+        for sanitizer in self.sanitizers:
+            sanitizer.on_channel_send(src, dst, generation, sequence, time)
+
+    def on_channel_deliver(self, src, dst, generation, sequence, time) -> None:
+        for sanitizer in self.sanitizers:
+            sanitizer.on_channel_deliver(src, dst, generation, sequence, time)
+
+    def on_channel_flush(self, src, dst, generation) -> None:
+        for sanitizer in self.sanitizers:
+            sanitizer.on_channel_flush(src, dst, generation)
+
+    def on_decision(self, speaker, prefix) -> None:
+        for sanitizer in self.sanitizers:
+            sanitizer.on_decision(speaker, prefix)
+
+    def on_announcement(self, speaker, peer, prefix, path) -> None:
+        for sanitizer in self.sanitizers:
+            sanitizer.on_announcement(speaker, peer, prefix, path)
+
+    def on_withdrawal(self, speaker, peer, prefix) -> None:
+        for sanitizer in self.sanitizers:
+            sanitizer.on_withdrawal(speaker, peer, prefix)
+
+    def describe(self) -> List[str]:
+        lines: List[str] = []
+        for sanitizer in self.sanitizers:
+            lines.extend(sanitizer.describe())
+        return lines
+
+
+def build_suite(names: Sequence[str] = SANITIZER_NAMES) -> SanitizerSuite:
+    """Build a suite from sanitizer names (see :data:`SANITIZER_NAMES`)."""
+    factories = {
+        "causality": CausalitySanitizer,
+        "fifo": FifoSanitizer,
+        "rib": RibCoherenceSanitizer,
+    }
+    chosen: List[InvariantHooks] = []
+    for name in names:
+        try:
+            chosen.append(factories[name]())
+        except KeyError:
+            raise SanitizerError(
+                f"unknown sanitizer {name!r}; known: {', '.join(SANITIZER_NAMES)}"
+            ) from None
+    return SanitizerSuite(chosen)

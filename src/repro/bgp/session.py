@@ -218,7 +218,7 @@ class SessionManager:
 
     def teardown_all(self) -> None:
         """Cancel every timer (end of a manually-driven simulation)."""
-        for neighbor in list(self._established):
+        for neighbor in sorted(self._established):
             self.teardown(neighbor)
         for neighbor in list(self._retry_timers):
             self._cancel_retry(neighbor)

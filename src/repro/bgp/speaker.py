@@ -462,6 +462,7 @@ class BgpSpeaker(Node):
         old_best = self.loc_rib.get(prefix)
         new_best = self._select_best(prefix)
         if new_best == old_best:
+            self._notify_decision(prefix)
             return
         if new_best is None:
             self.loc_rib.remove(prefix)
@@ -476,8 +477,15 @@ class BgpSpeaker(Node):
                 self._node_path(new_best),
             )
         self._update_fib(prefix, new_best)
+        self._notify_decision(prefix)
         for peer in self.neighbors:
             self._sync_peer(peer, prefix)
+
+    def _notify_decision(self, prefix: Prefix) -> None:
+        """Report a completed decision run to any installed sanitizers."""
+        hooks = self.scheduler.invariants
+        if hooks is not None:
+            hooks.on_decision(self, prefix)
 
     def _node_path(self, route: Optional[Route]) -> Optional[AsPath]:
         """A route's path in the paper's notation (self at the head)."""
@@ -559,11 +567,17 @@ class BgpSpeaker(Node):
         return advertised
 
     def _send_announcement(self, peer: int, prefix: Prefix, path: AsPath) -> None:
+        hooks = self.scheduler.invariants
+        if hooks is not None:
+            hooks.on_announcement(self, peer, prefix, path)
         self.send(peer, Announcement(prefix=prefix, path=path))
         self.adj_rib_out.record_announcement(peer, prefix, path)
         self.announcements_sent += 1
 
     def _send_withdrawal(self, peer: int, prefix: Prefix) -> None:
+        hooks = self.scheduler.invariants
+        if hooks is not None:
+            hooks.on_withdrawal(self, peer, prefix)
         self.send(peer, Withdrawal(prefix=prefix))
         self.adj_rib_out.record_withdrawal(peer, prefix)
         self.withdrawals_sent += 1
@@ -593,7 +607,7 @@ class BgpSpeaker(Node):
         prefixes = set(self.loc_rib.prefixes()) | self._origins
         for _neighbor, route in self.adj_rib_in.entries():
             prefixes.add(route.prefix)
-        for prefix in prefixes:
+        for prefix in sorted(prefixes):
             expected = self._select_best(prefix)
             actual = self.loc_rib.get(prefix)
             if expected != actual:

@@ -1,20 +1,23 @@
 """Command-line interface.
 
-Four subcommands::
+Six subcommands::
 
-    repro run       # one experiment: topology + event + variant -> metrics
-    repro figure    # regenerate one paper figure as an ASCII table
-    repro topology  # generate a topology and dump it as an edge list
-    repro list      # available figures, variants, topology kinds
+    repro run          # one experiment: topology + event + variant -> metrics
+    repro figure       # regenerate one paper figure as an ASCII table
+    repro topology     # generate a topology and dump it as an edge list
+    repro list         # available figures, variants, topology kinds
+    repro lint         # determinism lint pass over the simulator's sources
+    repro determinism  # dual-run reproducibility check on one scenario
 
 Also reachable as ``python -m repro``.  Every command is deterministic for
-a given ``--seed``.
+a given ``--seed`` — and ``repro determinism`` proves it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from . import __version__
@@ -173,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--flap-count", type=int, default=3,
         help="tflap only: number of down/up cycles (default: 3)",
     )
+    run.add_argument(
+        "--sanitize", action="store_true",
+        help=(
+            "run under the runtime sanitizer suite (causality, channel "
+            "FIFO, RIB coherence invariants checked on every event)"
+        ),
+    )
 
     figure = commands.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("id", choices=sorted(FIGURES), help="figure identifier")
@@ -190,6 +200,38 @@ def build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--seed", type=int, default=0, help="seed (internet only)")
 
     commands.add_parser("list", help="show available figures and variants")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism lint pass over simulator sources",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+
+    determinism = commands.add_parser(
+        "determinism",
+        help="run one scenario repeatedly under one seed and diff digests",
+    )
+    determinism.add_argument(
+        "--size", type=int, default=5, help="clique size (default: 5)"
+    )
+    determinism.add_argument(
+        "--mrai", type=float, default=2.0, help="MRAI seconds (default: 2)"
+    )
+    determinism.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    determinism.add_argument(
+        "--variant", choices=VARIANT_NAMES, default="standard",
+        help="protocol variant (default: standard)",
+    )
+    determinism.add_argument(
+        "--runs", type=int, default=2, help="number of repetitions (default: 2)"
+    )
+    determinism.add_argument(
+        "--sanitize", action="store_true",
+        help="also enable the runtime sanitizer suite for every run",
+    )
     return parser
 
 
@@ -252,7 +294,7 @@ def _cmd_run(args) -> int:
                 max_suppress_time=5 * args.damping_half_life,
             ),
         )
-    settings = RunSettings(packet_rate=args.rate)
+    settings = RunSettings(packet_rate=args.rate, sanitize=args.sanitize)
     print(
         f"running {scenario.name} / {config.variant_name} / MRAI {args.mrai}s "
         f"/ seed {args.seed}"
@@ -323,6 +365,38 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint_paths
+
+    paths = args.paths
+    if not paths:
+        # Default to the installed package sources: works from a source
+        # checkout (src/repro) and from anywhere else via __file__.
+        checkout = Path("src") / "repro"
+        paths = [str(checkout if checkout.is_dir() else Path(__file__).parent)]
+    violations = lint_paths(paths)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"\n{len(violations)} determinism violation(s) found")
+        return 1
+    print(f"lint clean: no determinism violations in {', '.join(paths)}")
+    return 0
+
+
+def _cmd_determinism(args) -> int:
+    from .analysis import check_determinism
+
+    scenario = tdown_clique(args.size)
+    config = variant(args.variant, mrai=args.mrai)
+    settings = RunSettings(sanitize=args.sanitize)
+    report = check_determinism(
+        scenario, config, settings=settings, seed=args.seed, runs=args.runs
+    )
+    print(report.render())
+    return 0 if report.identical else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -332,6 +406,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "topology": _cmd_topology,
         "list": _cmd_list,
+        "lint": _cmd_lint,
+        "determinism": _cmd_determinism,
     }
     try:
         return handlers[args.command](args)

@@ -105,7 +105,7 @@ def loop_timeline(
     cursor = start
     for t0, t1, graph in log.epochs(prefix, start, end):
         present = set(find_loops(graph))
-        for cycle in present:
+        for cycle in sorted(present):
             open_intervals.setdefault(cycle, t0)
         for cycle in list(open_intervals):
             if cycle not in present:

@@ -156,6 +156,11 @@ class FibChangeLog:
             if next_time > cursor:
                 yield (cursor, next_time, graph.copy())
                 cursor = next_time
-            while index < len(relevant) and relevant[index].time == next_time:
+            # lint: allow(float-time-eq) -- next_time was read from this
+            # very list, so equality groups records sharing one float value.
+            while (
+                index < len(relevant)
+                and relevant[index].time == next_time  # lint: allow(float-time-eq)
+            ):
                 graph.set_next_hop(relevant[index].node, relevant[index].next_hop)
                 index += 1

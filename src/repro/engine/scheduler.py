@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 from collections import Counter
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import SchedulingError
 from .event import Event, EventPriority
@@ -52,6 +52,9 @@ class Scheduler:
         self._last_event_time: Optional[float] = None
         self._last_substantive_time: Optional[float] = None
         self._substantive = 0
+        # Optional invariant-hook object (see repro.analysis.sanitizers);
+        # duck-typed so the engine never imports the analysis layer.
+        self.invariants: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -105,6 +108,20 @@ class Scheduler:
         self._substantive += delta
 
     # ------------------------------------------------------------------
+    # Invariant hooks
+    # ------------------------------------------------------------------
+
+    def install_invariants(self, hooks: Optional[Any]) -> None:
+        """Install (or, with ``None``, remove) an invariant-hook object.
+
+        The object receives ``on_schedule`` and ``on_event_fired`` calls
+        from this scheduler; other layers holding this scheduler (channels,
+        speakers) dispatch their own hook points through :attr:`invariants`
+        as well.  See :class:`repro.analysis.sanitizers.InvariantHooks`.
+        """
+        self.invariants = hooks
+
+    # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
 
@@ -123,6 +140,8 @@ class Scheduler:
         Returns the :class:`Event` handle, which supports ``cancel()``.
         Raises :class:`SchedulingError` if ``time`` is in the past.
         """
+        if self.invariants is not None:
+            self.invariants.on_schedule(self._now, time, name, housekeeping)
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule event {name or action!r} at t={time}; "
@@ -177,6 +196,8 @@ class Scheduler:
                 raise SchedulingError(
                     f"heap returned event {event!r} earlier than clock {self._now}"
                 )
+            if self.invariants is not None:
+                self.invariants.on_event_fired(self._now, event.time, event.name)
             self._now = event.time
             self._events_processed += 1
             self._last_event_time = event.time

@@ -36,6 +36,15 @@ class BudgetExceededError(SimulationError):
         self.snapshot = snapshot
 
 
+class SanitizerError(ReproError):
+    """A runtime sanitizer observed an invariant violation.
+
+    Deliberately *not* a :class:`SimulationError`: a tripped sanitizer
+    means the simulator itself is wrong, so sweep fault isolation (which
+    absorbs ``SimulationError`` per trial) must let it propagate.
+    """
+
+
 class TopologyError(ReproError):
     """A topology is malformed or a generator received invalid parameters."""
 

@@ -32,6 +32,11 @@ class RunSettings:
         convergence fails loudly instead of hanging.
     horizon:
         Hard wall-clock (simulated) limit for the post-failure phase.
+    sanitize:
+        Run under the full runtime sanitizer suite (causality, FIFO,
+        RIB coherence — see :mod:`repro.analysis.sanitizers`).  Off by
+        default; flows through sweeps unchanged, so any scenario family
+        can be swept sanitized.
     """
 
     packet_rate: float = DEFAULT_PACKET_RATE
@@ -39,6 +44,7 @@ class RunSettings:
     failure_guard: float = 1.0
     event_budget: int = 5_000_000
     horizon: float = 50_000.0
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.packet_rate <= 0:

@@ -12,7 +12,10 @@ the dead trial was doing when it was killed.
   grouped by name family (``mrai``, ``keepalive``, ``node-3``, …),
 * per-node CPU state: queue depth, busy flag, liveness,
 * the tail of the message trace (who was shouting at whom when the
-  budget ran out).
+  budget ran out),
+* the state of any installed runtime sanitizers (how many invariants
+  each had checked when the run died — see
+  :mod:`repro.analysis.sanitizers`).
 
 The result rides on :class:`~repro.errors.BudgetExceededError` so harnesses
 (:mod:`repro.experiments.sweep`) can record it per trial and carry on.
@@ -52,6 +55,7 @@ class DiagnosticSnapshot:
     pending_by_name: Dict[str, int] = field(default_factory=dict)
     nodes: Tuple[NodeState, ...] = ()
     trace_tail: Tuple[str, ...] = ()
+    sanitizer_state: Tuple[str, ...] = ()
 
     def busiest_nodes(self, top: int = 3) -> List[NodeState]:
         """Nodes with the deepest CPU queues (likely livelock participants)."""
@@ -83,6 +87,9 @@ class DiagnosticSnapshot:
                     for n in hot
                 )
             )
+        if self.sanitizer_state:
+            lines.append("sanitizer state:")
+            lines.extend(f"  {state}" for state in self.sanitizer_state)
         if self.trace_tail:
             lines.append(f"last {len(self.trace_tail)} messages:")
             lines.extend(f"  {record}" for record in self.trace_tail)
@@ -116,6 +123,10 @@ def capture_snapshot(
         tail = tuple(
             f"t={r.time:.3f} {r.src}->{r.dst} {r.message!r}" for r in records
         )
+    sanitizers: Tuple[str, ...] = ()
+    describe = getattr(getattr(scheduler, "invariants", None), "describe", None)
+    if describe is not None:
+        sanitizers = tuple(describe())
     return DiagnosticSnapshot(
         time=scheduler.now,
         events_processed=scheduler.events_processed,
@@ -124,4 +135,5 @@ def capture_snapshot(
         pending_by_name=scheduler.pending_by_name(),
         nodes=nodes,
         trace_tail=tail,
+        sanitizer_state=sanitizers,
     )

@@ -126,6 +126,10 @@ def run_experiment(
     """
     streams = RandomStreams(seed)
     scheduler = Scheduler()
+    if settings.sanitize:
+        from ..analysis.sanitizers import build_suite
+
+        scheduler.install_invariants(build_suite())
     fib_log = FibChangeLog()
     route_log = RouteChangeLog()
     network = build_network(

@@ -53,6 +53,11 @@ class Channel:
         self._messages_sent = 0
         self._messages_delivered = 0
         self._messages_dropped = 0
+        # FIFO bookkeeping for the sanitizer hooks: sequence numbers are
+        # contiguous within a generation; a generation ends whenever
+        # in-flight messages are destroyed.
+        self._generation = 0
+        self._generation_seq = 0
 
     # ------------------------------------------------------------------
 
@@ -90,9 +95,21 @@ class Channel:
         arrival = max(self._scheduler.now + self.delay, self._last_arrival)
         self._last_arrival = arrival
         self._messages_sent += 1
+        self._generation_seq += 1
+        generation, sequence = self._generation, self._generation_seq
+        hooks = self._scheduler.invariants
+        if hooks is not None:
+            hooks.on_channel_send(
+                self.src, self.dst, generation, sequence, self._scheduler.now
+            )
 
         def arrive() -> None:
             self._messages_delivered += 1
+            hooks = self._scheduler.invariants
+            if hooks is not None:
+                hooks.on_channel_deliver(
+                    self.src, self.dst, generation, sequence, self._scheduler.now
+                )
             self._deliver(self.src, message)
 
         event = self._scheduler.call_at(
@@ -127,6 +144,11 @@ class Channel:
             self._messages_sent - self._messages_delivered - self._messages_dropped
         )
         self._messages_dropped += destroyed
+        hooks = self._scheduler.invariants
+        if hooks is not None:
+            hooks.on_channel_flush(self.src, self.dst, self._generation)
+        self._generation += 1
+        self._generation_seq = 0
         return destroyed
 
     def take_down(self) -> int:

@@ -1,0 +1,390 @@
+"""Tests for the determinism linter: each rule gets positive and negative
+fixtures, plus the acceptance check that the shipped tree lints clean."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import RULES, lint_paths, lint_source
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def lint(code: str, path: str = "module.py"):
+    return lint_source(textwrap.dedent(code), path)
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestWallClockRule:
+    def test_time_time_flagged(self):
+        violations = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rules_of(violations) == ["wall-clock"]
+
+    def test_perf_counter_and_alias_flagged(self):
+        violations = lint(
+            """
+            import time as t
+
+            def bench():
+                return t.perf_counter()
+            """
+        )
+        assert rules_of(violations) == ["wall-clock"]
+
+    def test_datetime_now_flagged(self):
+        violations = lint(
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """
+        )
+        assert rules_of(violations) == ["wall-clock"]
+
+    def test_from_import_datetime_now_flagged(self):
+        violations = lint(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """
+        )
+        assert rules_of(violations) == ["wall-clock"]
+
+    def test_scheduler_now_not_flagged(self):
+        violations = lint(
+            """
+            def stamp(scheduler):
+                return scheduler.now
+            """
+        )
+        assert violations == []
+
+    def test_unrelated_time_method_not_flagged(self):
+        violations = lint(
+            """
+            def peek(event):
+                return event.time
+            """
+        )
+        assert violations == []
+
+
+class TestUnseededRandomRule:
+    def test_module_level_draw_flagged(self):
+        violations = lint(
+            """
+            import random
+
+            def jitter():
+                return random.uniform(0.75, 1.0)
+            """
+        )
+        assert rules_of(violations) == ["unseeded-random"]
+
+    def test_from_import_draw_flagged(self):
+        violations = lint("from random import choice\n")
+        assert rules_of(violations) == ["unseeded-random"]
+
+    def test_seedless_random_instance_flagged(self):
+        violations = lint(
+            """
+            import random
+
+            def make_rng():
+                return random.Random()
+            """
+        )
+        assert rules_of(violations) == ["unseeded-random"]
+
+    def test_seeded_random_instance_allowed(self):
+        violations = lint(
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """
+        )
+        assert violations == []
+
+    def test_stream_draw_allowed(self):
+        violations = lint(
+            """
+            def jitter(rng):
+                return rng.uniform(0.75, 1.0)
+            """
+        )
+        assert violations == []
+
+    def test_random_annotation_allowed(self):
+        violations = lint(
+            """
+            import random
+
+            def use(rng: random.Random) -> float:
+                return rng.random()
+            """
+        )
+        assert violations == []
+
+    def test_engine_rng_module_is_exempt(self):
+        code = """
+            import random
+
+            def draw():
+                return random.random()
+            """
+        assert rules_of(lint(code, "pkg/other.py")) == ["unseeded-random"]
+        assert lint(code, "src/repro/engine/rng.py") == []
+
+
+class TestUnorderedIterationRule:
+    def test_for_over_set_literal_flagged(self):
+        violations = lint(
+            """
+            def walk():
+                for x in {3, 1, 2}:
+                    print(x)
+            """
+        )
+        assert rules_of(violations) == ["unordered-iteration"]
+
+    def test_for_over_set_call_flagged(self):
+        violations = lint(
+            """
+            def walk(items):
+                for x in set(items):
+                    print(x)
+            """
+        )
+        assert rules_of(violations) == ["unordered-iteration"]
+
+    def test_for_over_set_typed_local_flagged(self):
+        violations = lint(
+            """
+            def walk(a, b):
+                merged = set(a) | set(b)
+                for x in merged:
+                    print(x)
+            """
+        )
+        assert rules_of(violations) == ["unordered-iteration"]
+
+    def test_for_over_set_typed_self_attribute_flagged(self):
+        violations = lint(
+            """
+            class Speaker:
+                def __init__(self):
+                    self._origins = set()
+
+                def advertise(self):
+                    for prefix in self._origins:
+                        print(prefix)
+            """
+        )
+        assert rules_of(violations) == ["unordered-iteration"]
+
+    def test_list_materialization_of_set_flagged(self):
+        violations = lint(
+            """
+            def snapshot(items):
+                return list(set(items))
+            """
+        )
+        assert rules_of(violations) == ["unordered-iteration"]
+
+    def test_comprehension_over_set_flagged(self):
+        violations = lint(
+            """
+            def walk(items):
+                return [x + 1 for x in set(items)]
+            """
+        )
+        assert rules_of(violations) == ["unordered-iteration"]
+
+    def test_sorted_set_allowed(self):
+        violations = lint(
+            """
+            def walk(items):
+                for x in sorted(set(items)):
+                    print(x)
+            """
+        )
+        assert violations == []
+
+    def test_membership_test_allowed(self):
+        violations = lint(
+            """
+            def has(items, x):
+                mine = set(items)
+                return x in mine
+            """
+        )
+        assert violations == []
+
+    def test_values_loop_feeding_scheduler_flagged(self):
+        violations = lint(
+            """
+            def rearm(timers, scheduler):
+                for timer in timers.values():
+                    scheduler.call_at(timer.deadline, timer.fire)
+            """
+        )
+        assert rules_of(violations) == ["unordered-iteration"]
+
+    def test_values_loop_without_emission_allowed(self):
+        violations = lint(
+            """
+            def cancel_all(timers):
+                for timer in timers.values():
+                    timer.cancel()
+            """
+        )
+        assert violations == []
+
+
+class TestMutableDefaultRule:
+    def test_list_default_flagged(self):
+        violations = lint(
+            """
+            def handler(event, queue=[]):
+                queue.append(event)
+            """
+        )
+        assert rules_of(violations) == ["mutable-default"]
+
+    def test_dict_and_set_defaults_flagged(self):
+        violations = lint(
+            """
+            def handler(event, *, seen=set(), state={}):
+                pass
+            """
+        )
+        assert rules_of(violations) == ["mutable-default", "mutable-default"]
+
+    def test_none_default_allowed(self):
+        violations = lint(
+            """
+            def handler(event, queue=None):
+                pass
+            """
+        )
+        assert violations == []
+
+    def test_immutable_defaults_allowed(self):
+        violations = lint(
+            """
+            def handler(event, retries=3, name="x", window=(0.75, 1.0)):
+                pass
+            """
+        )
+        assert violations == []
+
+
+class TestFloatTimeEqRule:
+    def test_timestamp_equality_flagged(self):
+        violations = lint(
+            """
+            def same_instant(a, b):
+                return a.time == b.arrival_time
+            """
+        )
+        assert rules_of(violations) == ["float-time-eq"]
+
+    def test_now_inequality_flagged(self):
+        violations = lint(
+            """
+            def moved(scheduler, start_time):
+                return scheduler.now != start_time
+            """
+        )
+        assert rules_of(violations) == ["float-time-eq"]
+
+    def test_ordering_comparison_allowed(self):
+        violations = lint(
+            """
+            def earlier(a, b):
+                return a.time <= b.time
+            """
+        )
+        assert violations == []
+
+    def test_non_time_equality_allowed(self):
+        violations = lint(
+            """
+            def same(a, b):
+                return a.count == b.count
+            """
+        )
+        assert violations == []
+
+    def test_none_sentinel_allowed(self):
+        violations = lint(
+            """
+            def unset(record):
+                return record.time == None
+            """
+        )
+        assert violations == []
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses_on_same_line(self):
+        violations = lint(
+            """
+            def same_instant(a, b):
+                return a.time == b.time  # lint: allow(float-time-eq) -- grouping
+            """
+        )
+        assert violations == []
+
+    def test_allow_comment_is_rule_specific(self):
+        violations = lint(
+            """
+            def same_instant(a, b):
+                return a.time == b.time  # lint: allow(wall-clock)
+            """
+        )
+        assert rules_of(violations) == ["float-time-eq"]
+
+
+class TestLintPaths:
+    def test_directory_expansion_and_ordering(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+        (tmp_path / "good.py").write_text("def f():\n    return 1\n")
+        violations = lint_paths([str(tmp_path)])
+        assert rules_of(violations) == ["wall-clock"]
+        assert violations[0].path.endswith("bad.py")
+        assert violations[0].line == 4
+
+    def test_render_mentions_rule_and_code(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text("from random import choice\n")
+        (violation,) = lint_paths([str(target)])
+        rendered = violation.render()
+        assert "REP102" in rendered
+        assert "unseeded-random" in rendered
+
+    def test_every_rule_has_code_and_description(self):
+        for rule, (code, description) in RULES.items():
+            assert code.startswith("REP")
+            assert description
+
+    def test_shipped_tree_is_clean(self):
+        assert lint_paths([str(SRC_ROOT)]) == []

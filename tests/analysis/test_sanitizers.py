@@ -1,0 +1,236 @@
+"""Tests for the runtime sanitizers and the invariant-hook plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    CausalitySanitizer,
+    FifoSanitizer,
+    RibCoherenceSanitizer,
+    SanitizerSuite,
+    build_suite,
+)
+from repro.bgp import BgpConfig, variant
+from repro.engine import Scheduler
+from repro.errors import BudgetExceededError, SanitizerError
+from repro.experiments import RunSettings, run_experiment, tdown_clique
+from repro.net.channel import Channel
+
+
+class TestBuildSuite:
+    def test_default_suite_has_all_sanitizers(self):
+        suite = build_suite()
+        kinds = {type(s) for s in suite.sanitizers}
+        assert kinds == {CausalitySanitizer, FifoSanitizer, RibCoherenceSanitizer}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SanitizerError, match="unknown sanitizer"):
+            build_suite(["causality", "asan"])
+
+    def test_describe_aggregates_all_members(self):
+        lines = build_suite().describe()
+        text = "\n".join(lines)
+        assert "causality" in text
+        assert "fifo" in text
+        assert "rib" in text
+
+
+class TestCausalitySanitizer:
+    def test_scheduling_into_the_past_trips(self):
+        scheduler = Scheduler()
+        scheduler.install_invariants(SanitizerSuite([CausalitySanitizer()]))
+        scheduler.call_at(5.0, lambda: None)
+        scheduler.run()
+        assert scheduler.now == 5.0
+        with pytest.raises(SanitizerError, match="causality"):
+            scheduler.call_at(1.0, lambda: None, name="stale-timer")
+
+    def test_event_scheduled_in_past_from_handler_trips(self):
+        scheduler = Scheduler()
+        scheduler.install_invariants(SanitizerSuite([CausalitySanitizer()]))
+
+        def misbehave():
+            scheduler.call_at(scheduler.now - 0.5, lambda: None)
+
+        scheduler.call_at(2.0, misbehave)
+        with pytest.raises(SanitizerError, match="causality"):
+            scheduler.run()
+
+    def test_non_monotone_firing_trips(self):
+        sanitizer = CausalitySanitizer()
+        sanitizer.on_event_fired(0.0, 5.0, "a")
+        with pytest.raises(SanitizerError, match="fired at"):
+            sanitizer.on_event_fired(5.0, 3.0, "b")
+
+    def test_clean_run_counts_checks(self):
+        scheduler = Scheduler()
+        sanitizer = CausalitySanitizer()
+        scheduler.install_invariants(SanitizerSuite([sanitizer]))
+        for delay in (1.0, 2.0, 3.0):
+            scheduler.call_after(delay, lambda: None)
+        scheduler.run()
+        assert sanitizer.schedules_checked == 3
+        assert sanitizer.events_checked == 3
+
+
+class TestFifoSanitizer:
+    def test_sequence_gap_trips(self):
+        sanitizer = FifoSanitizer()
+        sanitizer.on_channel_deliver(0, 1, 0, 1, 0.1)
+        with pytest.raises(SanitizerError, match="fifo"):
+            sanitizer.on_channel_deliver(0, 1, 0, 3, 0.2)
+
+    def test_reordered_arrival_time_trips(self):
+        sanitizer = FifoSanitizer()
+        sanitizer.on_channel_deliver(0, 1, 0, 1, 1.0)
+        with pytest.raises(SanitizerError, match="precedes"):
+            sanitizer.on_channel_deliver(0, 1, 0, 2, 0.5)
+
+    def test_delivery_from_flushed_generation_trips(self):
+        sanitizer = FifoSanitizer()
+        sanitizer.on_channel_deliver(0, 1, 0, 1, 0.1)
+        sanitizer.on_channel_flush(0, 1, 0)
+        with pytest.raises(SanitizerError, match="dead generation"):
+            sanitizer.on_channel_deliver(0, 1, 0, 2, 0.2)
+
+    def test_new_generation_restarts_sequence(self):
+        sanitizer = FifoSanitizer()
+        sanitizer.on_channel_deliver(0, 1, 0, 1, 0.1)
+        sanitizer.on_channel_flush(0, 1, 0)
+        sanitizer.on_channel_deliver(0, 1, 1, 1, 0.3)
+        assert sanitizer.deliveries_checked == 2
+
+    def test_channel_integration_clean(self):
+        scheduler = Scheduler()
+        sanitizer = FifoSanitizer()
+        scheduler.install_invariants(SanitizerSuite([sanitizer]))
+        received = []
+        channel = Channel(
+            scheduler, 0, 1, 0.002, lambda src, msg: received.append(msg)
+        )
+        for index in range(5):
+            channel.send(index)
+        scheduler.run()
+        assert received == [0, 1, 2, 3, 4]
+        assert sanitizer.deliveries_checked == 5
+
+    def test_channel_integration_across_reset(self):
+        scheduler = Scheduler()
+        sanitizer = FifoSanitizer()
+        scheduler.install_invariants(SanitizerSuite([sanitizer]))
+        received = []
+        channel = Channel(
+            scheduler, 0, 1, 0.002, lambda src, msg: received.append(msg)
+        )
+        channel.send("a")
+        channel.send("b")
+        scheduler.run()
+        channel.send("lost")  # destroyed in flight by the reset below
+        channel.drop_in_flight()
+        channel.send("c")
+        scheduler.run()
+        assert received == ["a", "b", "c"]
+        assert sanitizer.deliveries_checked == 3
+
+
+class TestRibCoherenceSanitizer:
+    @pytest.fixture
+    def converged_network(self, bgp_network_factory):
+        from repro.topology import clique
+
+        network, _fib_log = bgp_network_factory(clique(4))
+        speaker = network.node(0)
+        speaker.originate("d0/8")
+        network.scheduler.run()
+        return network
+
+    def test_clean_converged_state_passes(self, converged_network):
+        sanitizer = RibCoherenceSanitizer()
+        for node_id in sorted(converged_network.nodes):
+            sanitizer.on_decision(converged_network.node(node_id), "d0/8")
+        assert sanitizer.decisions_checked == 4
+
+    def test_corrupted_loc_rib_trips(self, converged_network):
+        speaker = converged_network.node(1)
+        speaker.loc_rib.remove("d0/8")
+        with pytest.raises(SanitizerError, match="decision process selects"):
+            RibCoherenceSanitizer().on_decision(speaker, "d0/8")
+
+    def test_corrupted_fib_trips(self, converged_network):
+        speaker = converged_network.node(1)
+        speaker.fib["d0/8"] = 3  # best route points elsewhere
+        best = speaker.best_route("d0/8")
+        assert best is not None and best.next_hop != 3
+        with pytest.raises(SanitizerError, match="FIB hop"):
+            RibCoherenceSanitizer().on_decision(speaker, "d0/8")
+
+    def test_announcement_during_mrai_hold_trips(self, converged_network):
+        speaker = converged_network.node(1)
+        path = speaker.full_path("d0/8")
+        speaker.mrai.mark_sent(2, "d0/8")
+        assert speaker.mrai.holding(2, "d0/8")
+        with pytest.raises(SanitizerError, match="MRAI"):
+            RibCoherenceSanitizer().on_announcement(speaker, 2, "d0/8", path)
+
+    def test_foreign_path_head_trips(self, converged_network):
+        speaker = converged_network.node(1)
+        foreign = speaker.full_path("d0/8").prepend(9)
+        with pytest.raises(SanitizerError, match="headed by"):
+            RibCoherenceSanitizer().on_announcement(speaker, 2, "d0/8", foreign)
+
+
+class TestRunnerIntegration:
+    def test_sanitized_run_matches_unsanitized(self):
+        scenario = tdown_clique(5)
+        config = variant("standard", mrai=2.0)
+        plain = run_experiment(scenario, config, seed=3)
+        sanitized = run_experiment(
+            scenario, config, settings=RunSettings(sanitize=True), seed=3
+        )
+        assert (
+            sanitized.result.summary_row() == plain.result.summary_row()
+        ), "sanitizers must observe, never perturb"
+
+    def test_sanitized_session_run_passes(self):
+        from repro.experiments import treset_clique
+
+        config = BgpConfig(
+            mrai=1.0,
+            processing_delay=(0.01, 0.05),
+            hold_time=9.0,
+            keepalive_interval=3.0,
+            connect_retry=0.5,
+            connect_retry_cap=4.0,
+        )
+        run = run_experiment(
+            treset_clique(4), config, settings=RunSettings(sanitize=True), seed=1
+        )
+        assert run.converged
+
+    def test_budget_snapshot_reports_sanitizer_state(self):
+        scenario = tdown_clique(5)
+        config = variant("standard", mrai=2.0)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_experiment(
+                scenario,
+                config,
+                settings=RunSettings(sanitize=True, event_budget=10),
+                seed=0,
+            )
+        snapshot = excinfo.value.snapshot
+        assert snapshot is not None
+        state = "\n".join(snapshot.sanitizer_state)
+        assert "causality" in state
+        assert "fifo" in state
+        assert "rib" in state
+        assert "sanitizer state:" in snapshot.render()
+
+    def test_unsanitized_snapshot_has_no_sanitizer_state(self):
+        scenario = tdown_clique(5)
+        config = variant("standard", mrai=2.0)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_experiment(
+                scenario, config, settings=RunSettings(event_budget=10), seed=0
+            )
+        assert excinfo.value.snapshot.sanitizer_state == ()

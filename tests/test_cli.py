@@ -152,3 +152,52 @@ class TestListCommand:
         assert "fig4a" in out and "fig9d" in out and "theory" in out
         assert "ghost-flushing" in out
         assert "b-clique" in out
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def f():\n    return 1\n")
+        code = main(["lint", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lint clean" in out
+
+    def test_violating_file_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import time\n\ndef f():\n    return time.time()\n")
+        code = main(["lint", str(target)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP101" in out
+        assert "wall-clock" in out
+        assert "1 determinism violation(s)" in out
+
+    def test_default_target_is_the_package_and_it_is_clean(self, capsys):
+        code = main(["lint"])
+        assert code == 0
+        assert "lint clean" in capsys.readouterr().out
+
+
+class TestDeterminismCommand:
+    def test_dual_run_on_small_clique_is_identical(self, capsys):
+        code = main(["determinism", "--size", "3", "--mrai", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IDENTICAL" in out
+
+    def test_sanitized_dual_run_is_identical(self, capsys):
+        code = main(
+            ["determinism", "--size", "3", "--mrai", "1", "--sanitize"]
+        )
+        assert code == 0
+        assert "IDENTICAL" in capsys.readouterr().out
+
+    def test_run_with_sanitize_flag(self, capsys):
+        code = main(
+            ["run", "--topology", "clique", "--size", "4", "--mrai", "1",
+             "--seed", "1", "--sanitize"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "convergence time" in out
