@@ -4,11 +4,29 @@ Each benchmark regenerates one paper figure through its driver, saves the
 rendered series table under ``benchmarks/results/``, records headline
 numbers in the pytest-benchmark ``extra_info``, and asserts the figure's
 shape checks.  EXPERIMENTS.md is written from these result files.
+
+Two extras support long parallel studies:
+
+* :func:`checkpointed_sweep` wraps :func:`repro.experiments.sweep` with a
+  JSON-lines journal: every completed sweep point is appended to
+  ``results/<name>.points.jsonl`` the moment it finishes, and a rerun
+  loads the journal and only executes the x values it is missing.  An
+  interrupted sweep therefore *resumes* instead of silently re-running
+  hours of finished trials from scratch.
+* :func:`bench_cli` gives a benchmark module a ``python bench_x.py
+  --jobs N`` entry point that times its figure drivers under the parallel
+  sweep executor and prints the wall-clock per figure — the quickest way
+  to see the speedup (or, on tiny topologies, the worker-startup cost).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import time
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -39,3 +57,173 @@ def record(benchmark, figure, require_checks: bool = True) -> None:
     if require_checks:
         failures = figure.check_failures()
         assert not failures, "; ".join(str(f) for f in failures)
+
+
+# ----------------------------------------------------------------------
+# Incremental (resumable) sweeps
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """One sweep point reduced to journal-able data."""
+
+    x: float
+    succeeded: int
+    failed: int
+    metrics: Dict[str, float]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "x": self.x,
+                "succeeded": self.succeeded,
+                "failed": self.failed,
+                "metrics": self.metrics,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "PointRecord":
+        data = json.loads(line)
+        return cls(
+            x=data["x"],
+            succeeded=data["succeeded"],
+            failed=data["failed"],
+            metrics=data["metrics"],
+        )
+
+
+def point_journal_path(name: str) -> Path:
+    """Where :func:`checkpointed_sweep` journals points for ``name``."""
+    return RESULTS_DIR / f"{name}.points.jsonl"
+
+
+def load_point_journal(path: Path) -> Dict[float, PointRecord]:
+    """Completed points from a previous (possibly interrupted) run.
+
+    A torn final line — the interrupt arriving mid-write — is skipped, so
+    the journal is always safe to resume from.
+    """
+    completed: Dict[float, PointRecord] = {}
+    if not path.exists():
+        return completed
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record_ = PointRecord.from_json(line)
+        except (json.JSONDecodeError, KeyError):
+            continue
+        completed[record_.x] = record_
+    return completed
+
+
+def checkpointed_sweep(
+    name: str,
+    xs: Sequence[float],
+    make_scenario,
+    make_config,
+    *,
+    seeds: Sequence[int] = (0,),
+    settings=None,
+    jobs: int = 1,
+    fresh: bool = False,
+    path: Optional[Path] = None,
+    on_trial_error=None,
+) -> List[PointRecord]:
+    """A sweep that journals each finished point and resumes on rerun.
+
+    Points already present in ``results/<name>.points.jsonl`` are loaded,
+    not re-run; the remaining x values go through ``sweep(..., jobs=jobs)``
+    one point at a time, each appended to the journal as soon as its trials
+    complete.  ``fresh=True`` discards the journal first.  Returns records
+    for every x in request order.
+
+    A point whose trials all failed journals with ``metrics == {}`` rather
+    than raising, so one dead point cannot wedge the resume loop.
+    """
+    from repro.experiments import RunSettings, sweep
+    from repro.errors import AnalysisError
+
+    settings = settings or RunSettings()
+    journal = path if path is not None else point_journal_path(name)
+    journal.parent.mkdir(exist_ok=True)
+    if fresh and journal.exists():
+        journal.unlink()
+    completed = load_point_journal(journal)
+
+    for x in xs:
+        if x in completed:
+            continue
+        points = sweep(
+            [x],
+            make_scenario,
+            make_config,
+            seeds=seeds,
+            settings=settings,
+            jobs=jobs,
+            on_trial_error=on_trial_error,
+        )
+        point = points[0]
+        try:
+            metrics = point.metrics()
+        except AnalysisError:
+            metrics = {}
+        record_ = PointRecord(
+            x=point.x,
+            succeeded=point.succeeded,
+            failed=point.failed,
+            metrics=metrics,
+        )
+        with journal.open("a", encoding="utf-8") as handle:
+            handle.write(record_.to_json() + "\n")
+        completed[x] = record_
+
+    return [completed[x] for x in xs]
+
+
+# ----------------------------------------------------------------------
+# Direct bench entry points (python bench_x.py --jobs N)
+# ----------------------------------------------------------------------
+
+
+def bench_cli(
+    drivers: Dict[str, Callable[[int], object]],
+    argv: Optional[Sequence[str]] = None,
+    description: str = "Run figure drivers and report wall-clock time.",
+) -> int:
+    """Argparse front end shared by the ``__main__`` blocks of bench files.
+
+    ``drivers`` maps a figure id to ``fn(jobs) -> FigureData``.  Each
+    requested driver runs once under the given ``--jobs`` and prints its
+    table plus the wall-clock seconds, so ``--jobs 4`` vs ``--jobs 1`` is a
+    direct speedup measurement.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "figures", nargs="*", choices=[[], *sorted(drivers)],
+        help="figure ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep trials (0 = one per CPU)",
+    )
+    args = parser.parse_args(argv)
+    chosen = args.figures or sorted(drivers)
+
+    total = 0.0
+    for figure_id in chosen:
+        start = time.perf_counter()
+        figure = drivers[figure_id](args.jobs)
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        save_figure(figure)
+        print(figure.render())
+        print(f"[{figure_id}] wall-clock {elapsed:.2f}s (jobs={args.jobs})")
+        print()
+    print(f"total wall-clock {total:.2f}s for {len(chosen)} figure(s) "
+          f"with --jobs {args.jobs}")
+    return 0

@@ -11,12 +11,24 @@ measures loops, looping duration, and update load per period.
 The sweep runs with per-trial fault isolation: a (period, seed) pair that
 fails to converge is recorded with its diagnostic snapshot instead of
 aborting the study, and the table reports the per-point success count.
+
+Run directly — ``python benchmarks/bench_churn.py --jobs 4`` — the sweep
+fans trials out to worker processes and journals every finished point to
+``results/churn.points.jsonl``; an interrupted run resumes from the
+journal instead of repeating completed points (``--fresh`` starts over).
 """
 
-from _support import RESULTS_DIR
+from _support import RESULTS_DIR, checkpointed_sweep
 
 from repro.bgp import BgpConfig
-from repro.experiments import RunSettings, failures_of, sweep, tflap_bclique
+from repro.experiments import (
+    RunSettings,
+    bclique_tflap_trial,
+    constant_config,
+    factory_ref,
+    failures_of,
+    sweep,
+)
 from repro.util import render_table
 
 SIZE = 4
@@ -27,15 +39,18 @@ SEEDS = (0, 1, 2)
 CONFIG = BgpConfig(mrai=2.0, processing_delay=(0.05, 0.15))
 SETTINGS = RunSettings(packet_rate=5.0, failure_guard=1.0, horizon=500.0)
 
+#: Picklable factories: the same objects drive the sequential pytest path
+#: and the parallel/checkpointed CLI path below.
+MAKE_SCENARIO = factory_ref(bclique_tflap_trial, size=SIZE, count=FLAP_COUNT)
+MAKE_CONFIG = factory_ref(constant_config, config=CONFIG)
+
 
 def test_flap_period_drives_looping(benchmark):
     def run_sweep():
         return sweep(
             PERIODS,
-            make_scenario=lambda period, seed: tflap_bclique(
-                SIZE, period=period, count=FLAP_COUNT
-            ),
-            make_config=lambda period: CONFIG,
+            make_scenario=MAKE_SCENARIO,
+            make_config=MAKE_CONFIG,
             seeds=SEEDS,
             settings=SETTINGS,
         )
@@ -87,3 +102,44 @@ def test_flap_period_drives_looping(benchmark):
     assert all(u > 0 for u in updates), updates
     loops = [p.metrics()["distinct_loops"] for p in points]
     assert loops[0] >= loops[-1] or max(loops) > 0, loops
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (0 = one per CPU)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="discard the journal and re-run every point")
+    args = parser.parse_args()
+
+    records = checkpointed_sweep(
+        "churn",
+        PERIODS,
+        MAKE_SCENARIO,
+        MAKE_CONFIG,
+        seeds=SEEDS,
+        settings=SETTINGS,
+        jobs=args.jobs,
+        fresh=args.fresh,
+    )
+    table = render_table(
+        ["period_s", "ok", "loops", "loop_dur_s", "updates", "conv_s"],
+        [
+            [
+                r.x,
+                f"{r.succeeded}/{r.succeeded + r.failed}",
+                r.metrics.get("distinct_loops", float("nan")),
+                round(r.metrics.get("looping_duration", float("nan")), 2),
+                r.metrics.get("updates_sent", float("nan")),
+                round(r.metrics.get("convergence_time", float("nan")), 2),
+            ]
+            for r in records
+        ],
+        title=(
+            f"Tflap on B-Clique-{SIZE} ({FLAP_COUNT} flaps, MRAI "
+            f"{CONFIG.mrai:g}s): flap period vs route looping"
+        ),
+    )
+    print(table)

@@ -18,6 +18,8 @@ Used by ``python -m repro determinism`` and the CI smoke check.
 from __future__ import annotations
 
 import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -144,27 +146,62 @@ def fingerprint_run(run) -> RunFingerprint:
     )
 
 
+def fingerprint_once(
+    scenario: Scenario,
+    config: BgpConfig,
+    settings: RunSettings,
+    seed: int,
+) -> RunFingerprint:
+    """One run reduced to its fingerprint; module-level so pool workers
+    can execute repetitions of a parallel determinism check."""
+    run = run_experiment(
+        scenario, config, settings=settings, seed=seed, keep_network=True
+    )
+    return fingerprint_run(run)
+
+
 def check_determinism(
     scenario: Scenario,
     config: BgpConfig,
     settings: RunSettings = RunSettings(),
     seed: int = 0,
     runs: int = 2,
+    jobs: int = 1,
 ) -> DeterminismReport:
     """Run ``scenario`` ``runs`` times under one seed and diff the digests.
 
     ``settings.sanitize`` composes naturally: with it set, every run also
     executes under the full sanitizer suite, so the check covers both
     reproducibility and runtime invariants in one pass.
+
+    ``jobs > 1`` (or ``0`` for one per CPU) strengthens the check: run 0
+    executes in *this* process — the sequential baseline — while the
+    remaining repetitions execute in pool worker processes.  Identical
+    digests then certify that a trial is bit-identical whether it runs
+    in-process or in a parallel-sweep worker, which is exactly the
+    guarantee ``sweep(..., jobs=N)`` relies on.
     """
     if runs < 2:
         raise AnalysisError(f"a determinism check needs >= 2 runs, got {runs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise AnalysisError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
     fingerprints: List[RunFingerprint] = []
-    for _ in range(runs):
-        run = run_experiment(
-            scenario, config, settings=settings, seed=seed, keep_network=True
-        )
-        fingerprints.append(fingerprint_run(run))
+    if jobs == 1:
+        for _ in range(runs):
+            fingerprints.append(
+                fingerprint_once(scenario, config, settings, seed)
+            )
+    else:
+        fingerprints.append(fingerprint_once(scenario, config, settings, seed))
+        with ProcessPoolExecutor(max_workers=min(jobs, runs - 1)) as pool:
+            futures = [
+                pool.submit(fingerprint_once, scenario, config, settings, seed)
+                for _ in range(runs - 1)
+            ]
+            for future in futures:
+                fingerprints.append(future.result())
     return DeterminismReport(
         scenario_name=scenario.name,
         seed=seed,

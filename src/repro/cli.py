@@ -193,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--plot", action="store_true", help="also draw an ASCII chart"
     )
+    figure.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "run sweep trials on N worker processes (0 = one per CPU); "
+            "results are bit-identical to --jobs 1 (default)"
+        ),
+    )
 
     topo = commands.add_parser("topology", help="generate and print a topology")
     topo.add_argument("--kind", choices=TOPOLOGY_KINDS, default="internet")
@@ -231,6 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
     determinism.add_argument(
         "--sanitize", action="store_true",
         help="also enable the runtime sanitizer suite for every run",
+    )
+    determinism.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "run repetitions 1..N-1 in worker processes while run 0 stays "
+            "in-process, so identical digests also certify cross-process "
+            "equivalence (0 = one worker per CPU)"
+        ),
     )
     return parser
 
@@ -330,8 +345,18 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_figure(args) -> int:
+    import inspect
+
     driver = FIGURES[args.id]
-    kwargs = QUICK_FIGURE_KWARGS[args.id] if args.quick else {}
+    kwargs = dict(QUICK_FIGURE_KWARGS[args.id]) if args.quick else {}
+    if "jobs" in inspect.signature(driver).parameters:
+        kwargs["jobs"] = args.jobs
+    elif args.jobs != 1:
+        print(
+            f"note: {args.id} does not sweep and runs single-process; "
+            f"--jobs ignored",
+            file=sys.stderr,
+        )
     figure = driver(**kwargs)
     print(figure.render())
     if args.plot:
@@ -391,7 +416,12 @@ def _cmd_determinism(args) -> int:
     config = variant(args.variant, mrai=args.mrai)
     settings = RunSettings(sanitize=args.sanitize)
     report = check_determinism(
-        scenario, config, settings=settings, seed=args.seed, runs=args.runs
+        scenario,
+        config,
+        settings=settings,
+        seed=args.seed,
+        runs=args.runs,
+        jobs=args.jobs,
     )
     print(report.render())
     return 0 if report.identical else 1

@@ -29,11 +29,19 @@ class BudgetExceededError(SimulationError):
     the simulation state at the moment of exhaustion — queue depths, pending
     timers per node, the tail of the message trace — so non-convergence is
     debuggable instead of opaque.
+
+    Instances cross process boundaries intact: parallel sweeps run trials
+    in worker processes and ship failures back through ``pickle``, and the
+    default exception reduction (``cls(*args)``) would silently drop the
+    snapshot.  ``__reduce__`` keeps it attached.
     """
 
     def __init__(self, message: str, snapshot: object = None) -> None:
         super().__init__(message)
         self.snapshot = snapshot
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.snapshot))
 
 
 class SanitizerError(ReproError):

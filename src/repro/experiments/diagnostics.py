@@ -19,6 +19,11 @@ the dead trial was doing when it was killed.
 
 The result rides on :class:`~repro.errors.BudgetExceededError` so harnesses
 (:mod:`repro.experiments.sweep`) can record it per trial and carry on.
+
+Snapshots are deliberately *flat data* — frozen dataclasses of numbers,
+strings, and tuples, never live simulator objects — so they pickle cleanly.
+That is what lets a parallel sweep capture a post-mortem inside a worker
+process and ship it back attached to the trial's failure record.
 """
 
 from __future__ import annotations
@@ -61,6 +66,14 @@ class DiagnosticSnapshot:
         """Nodes with the deepest CPU queues (likely livelock participants)."""
         ranked = sorted(self.nodes, key=lambda n: (-n.cpu_queue, n.node_id))
         return ranked[:top]
+
+    def brief(self) -> str:
+        """A one-line summary for progress lines and failure listings."""
+        return (
+            f"died at t={self.time:.3f}s after {self.events_processed} events "
+            f"({self.substantive_pending} substantive of "
+            f"{self.pending_events} pending)"
+        )
 
     def render(self) -> str:
         """A readable multi-line report for logs and error messages."""

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ...bgp import BgpConfig, variant
 from ..config import RunSettings
 from ..report import FigureData
+from ..spec import constant_config, factory_ref, mrai_config
 from ..sweep import ScenarioFactory, SweepPoint, series, sweep, xs_of
 
 #: Metric label → LoopStudyResult.summary_row() key, shared across figures.
@@ -39,20 +40,26 @@ def metric_sweep_figure(
     settings: RunSettings = RunSettings(),
     config: Optional[BgpConfig] = None,
     mrai_is_x: bool = False,
+    jobs: int = 1,
 ) -> Tuple[FigureData, List[SweepPoint]]:
     """Run one sweep and package the requested metric series as a figure.
 
     ``mrai_is_x`` makes the x value the MRAI setting (Figures 5 and 7);
     otherwise the MRAI is fixed at ``mrai`` and x parameterizes the scenario
-    (topology size, Figures 4 and 6).
+    (topology size, Figures 4 and 6).  ``jobs`` fans trials out to worker
+    processes (see :func:`~repro.experiments.sweep.sweep`); the config
+    factories here are :class:`~repro.experiments.spec.FactoryRef`\\ s, so
+    any driver whose scenario factory is module-level parallelizes for free.
     """
     base = config or BgpConfig.standard(mrai)
     if mrai_is_x:
-        make_config = lambda x: base.with_mrai(x)  # noqa: E731 - tiny closure
+        make_config = factory_ref(mrai_config, base=base)
     else:
-        make_config = lambda x: base  # noqa: E731
+        make_config = factory_ref(constant_config, config=base)
 
-    points = sweep(xs, make_scenario, make_config, seeds=seeds, settings=settings)
+    points = sweep(
+        xs, make_scenario, make_config, seeds=seeds, settings=settings, jobs=jobs
+    )
     figure = FigureData(
         figure_id=figure_id,
         title=title,
@@ -71,17 +78,24 @@ def variant_comparison_series(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> Dict[str, List[float]]:
     """One metric's sweep series per protocol variant.
 
     Returns ``{variant_name: [metric at each x]}`` with every variant run on
-    identical scenarios and seeds, making the comparison paired.
+    identical scenarios and seeds, making the comparison paired.  ``jobs``
+    parallelizes the trials within each variant's sweep.
     """
     result: Dict[str, List[float]] = {}
     for name in variant_names:
         config = variant(name, mrai=mrai)
         points = sweep(
-            xs, make_scenario, lambda _x: config, seeds=seeds, settings=settings
+            xs,
+            make_scenario,
+            factory_ref(constant_config, config=config),
+            seeds=seeds,
+            settings=settings,
+            jobs=jobs,
         )
         result[name] = series(points, METRIC_KEYS[metric])
     return result

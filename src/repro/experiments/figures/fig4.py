@@ -14,7 +14,11 @@ from ...core import check_duration_coupling
 from ...core.observations import check_tlong_gap
 from ..config import RunSettings
 from ..report import FigureData
-from ..scenarios import tdown_clique, tdown_internet, tlong_bclique
+from ..scenarios import (
+    bclique_tlong_trial,
+    clique_tdown_trial,
+    internet_tdown_trial,
+)
 from .common import metric_sweep_figure
 
 _METRICS = ("looping_duration", "convergence_time")
@@ -36,6 +40,7 @@ def figure4a(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tdown in Clique topologies: looping duration ≈ convergence time."""
     figure, _points = metric_sweep_figure(
@@ -43,11 +48,12 @@ def figure4a(
         "Tdown looping duration vs convergence time (Clique)",
         "clique_size",
         list(sizes),
-        lambda x, seed: tdown_clique(int(x)),
+        clique_tdown_trial,
         _METRICS,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _with_coupling_check(figure, max_gap_fraction=0.35)
 
@@ -57,6 +63,7 @@ def figure4b(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tlong in B-Clique topologies: gap ≈ one MRAI round (30-45 s)."""
     figure, _points = metric_sweep_figure(
@@ -64,11 +71,12 @@ def figure4b(
         "Tlong looping duration vs convergence time (B-Clique)",
         "bclique_size",
         list(sizes),
-        lambda x, seed: tlong_bclique(int(x)),
+        bclique_tlong_trial,
         _METRICS,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     figure.checks.append(
         check_tlong_gap(
@@ -85,6 +93,7 @@ def figure4c(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0, 1),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tdown in Internet-derived topologies (paper sizes 29/48/75/110)."""
     figure, _points = metric_sweep_figure(
@@ -92,10 +101,11 @@ def figure4c(
         "Tdown looping duration vs convergence time (Internet-derived)",
         "internet_size",
         list(sizes),
-        lambda x, seed: tdown_internet(int(x), seed=seed),
+        internet_tdown_trial,
         _METRICS,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _with_coupling_check(figure, max_gap_fraction=0.6)

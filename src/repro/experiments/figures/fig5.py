@@ -13,7 +13,8 @@ from typing import Sequence
 from ...core import check_linear_in_mrai
 from ..config import RunSettings
 from ..report import FigureData
-from ..scenarios import tdown_clique, tlong_bclique
+from ..scenarios import bclique_tlong_fixed, clique_tdown_fixed
+from ..spec import factory_ref
 from .common import metric_sweep_figure
 
 _METRICS = ("looping_duration", "convergence_time")
@@ -37,6 +38,7 @@ def figure5a(
     clique_size: int = 10,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tdown in a Clique: both curves scale linearly with M."""
     figure, _points = metric_sweep_figure(
@@ -44,11 +46,12 @@ def figure5a(
         f"Tdown metrics vs MRAI (Clique-{clique_size})",
         "mrai",
         list(mrai_values),
-        lambda x, seed: tdown_clique(clique_size),
+        factory_ref(clique_tdown_fixed, size=clique_size),
         _METRICS,
         seeds=seeds,
         settings=settings,
         mrai_is_x=True,
+        jobs=jobs,
     )
     return _with_linearity_checks(figure)
 
@@ -58,6 +61,7 @@ def figure5b(
     bclique_size: int = 8,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tlong in a B-Clique: both curves scale linearly with M."""
     figure, _points = metric_sweep_figure(
@@ -65,10 +69,11 @@ def figure5b(
         f"Tlong metrics vs MRAI (B-Clique-{bclique_size})",
         "mrai",
         list(mrai_values),
-        lambda x, seed: tlong_bclique(bclique_size),
+        factory_ref(bclique_tlong_fixed, size=bclique_size),
         _METRICS,
         seeds=seeds,
         settings=settings,
         mrai_is_x=True,
+        jobs=jobs,
     )
     return _with_linearity_checks(figure)

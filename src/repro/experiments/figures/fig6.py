@@ -13,7 +13,11 @@ from typing import Sequence
 from ...core import ObservationCheck
 from ..config import RunSettings
 from ..report import FigureData
-from ..scenarios import tdown_clique, tdown_internet, tlong_bclique
+from ..scenarios import (
+    bclique_tlong_trial,
+    clique_tdown_trial,
+    internet_tdown_trial,
+)
 from .common import metric_sweep_figure
 
 _METRICS = ("ttl_exhaustions", "looping_ratio")
@@ -40,6 +44,7 @@ def figure6a(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tdown in Cliques: exhaustion counts and a >= 65% looping ratio."""
     figure, _points = metric_sweep_figure(
@@ -47,11 +52,12 @@ def figure6a(
         "Tdown TTL exhaustions and looping ratio (Clique)",
         "clique_size",
         list(sizes),
-        lambda x, seed: tdown_clique(int(x)),
+        clique_tdown_trial,
         _METRICS,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _with_ratio_floor(figure, floor=0.5)
 
@@ -61,6 +67,7 @@ def figure6b(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tlong in B-Cliques: exhaustion counts and a >= 35% looping ratio."""
     figure, _points = metric_sweep_figure(
@@ -68,11 +75,12 @@ def figure6b(
         "Tlong TTL exhaustions and looping ratio (B-Clique)",
         "bclique_size",
         list(sizes),
-        lambda x, seed: tlong_bclique(int(x)),
+        bclique_tlong_trial,
         _METRICS,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _with_ratio_floor(figure, floor=0.25)
 
@@ -82,6 +90,7 @@ def figure6c(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0, 1),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tdown in Internet-derived topologies (paper: up to 86% at n=110)."""
     figure, _points = metric_sweep_figure(
@@ -89,10 +98,11 @@ def figure6c(
         "Tdown TTL exhaustions and looping ratio (Internet-derived)",
         "internet_size",
         list(sizes),
-        lambda x, seed: tdown_internet(int(x), seed=seed),
+        internet_tdown_trial,
         _METRICS,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _with_ratio_floor(figure, floor=0.3)

@@ -13,7 +13,8 @@ from typing import Sequence
 from ...core import check_linear_in_mrai, check_ratio_constant
 from ..config import RunSettings
 from ..report import FigureData
-from ..scenarios import tdown_clique, tlong_bclique
+from ..scenarios import bclique_tlong_fixed, clique_tdown_fixed
+from ..spec import factory_ref
 from .common import metric_sweep_figure
 
 _METRICS = ("ttl_exhaustions", "looping_ratio")
@@ -32,6 +33,7 @@ def figure7a(
     clique_size: int = 10,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tdown in a Clique: linear exhaustions, flat ratio."""
     figure, _points = metric_sweep_figure(
@@ -39,11 +41,12 @@ def figure7a(
         f"Tdown TTL exhaustions / looping ratio vs MRAI (Clique-{clique_size})",
         "mrai",
         list(mrai_values),
-        lambda x, seed: tdown_clique(clique_size),
+        factory_ref(clique_tdown_fixed, size=clique_size),
         _METRICS,
         seeds=seeds,
         settings=settings,
         mrai_is_x=True,
+        jobs=jobs,
     )
     return _with_obs2_checks(figure)
 
@@ -53,6 +56,7 @@ def figure7b(
     bclique_size: int = 8,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Tlong in a B-Clique: linear exhaustions, flat ratio."""
     figure, _points = metric_sweep_figure(
@@ -60,10 +64,11 @@ def figure7b(
         f"Tlong TTL exhaustions / looping ratio vs MRAI (B-Clique-{bclique_size})",
         "mrai",
         list(mrai_values),
-        lambda x, seed: tlong_bclique(bclique_size),
+        factory_ref(bclique_tlong_fixed, size=bclique_size),
         _METRICS,
         seeds=seeds,
         settings=settings,
         mrai_is_x=True,
+        jobs=jobs,
     )
     return _with_obs2_checks(figure)

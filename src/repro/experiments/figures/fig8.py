@@ -16,7 +16,7 @@ from ...bgp import VARIANT_NAMES
 from ...core import check_enhancement_ranking
 from ..config import RunSettings
 from ..report import FigureData
-from ..scenarios import tdown_clique, tdown_internet
+from ..scenarios import clique_tdown_trial, internet_tdown_trial
 from .common import normalize_to, variant_comparison_series
 
 
@@ -50,16 +50,18 @@ def figure8a(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """TTL exhaustions normalized by standard BGP, Tdown in Cliques."""
     raw = variant_comparison_series(
         [float(s) for s in sizes],
-        lambda x, seed: tdown_clique(int(x)),
+        clique_tdown_trial,
         "ttl_exhaustions",
         VARIANT_NAMES,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _comparison_figure(
         "fig8a",
@@ -77,16 +79,18 @@ def figure8b(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Convergence time per variant, Tdown in Cliques."""
     raw = variant_comparison_series(
         [float(s) for s in sizes],
-        lambda x, seed: tdown_clique(int(x)),
+        clique_tdown_trial,
         "convergence_time",
         VARIANT_NAMES,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _comparison_figure(
         "fig8b",
@@ -104,16 +108,18 @@ def figure8c(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """TTL exhaustions per variant, Tdown in Internet-derived graphs."""
     raw = variant_comparison_series(
         [float(s) for s in sizes],
-        lambda x, seed: tdown_internet(int(x), seed=seed),
+        internet_tdown_trial,
         "ttl_exhaustions",
         VARIANT_NAMES,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _comparison_figure(
         "fig8c",
@@ -131,16 +137,18 @@ def figure8d(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Convergence time per variant, Tdown in Internet-derived graphs."""
     raw = variant_comparison_series(
         [float(s) for s in sizes],
-        lambda x, seed: tdown_internet(int(x), seed=seed),
+        internet_tdown_trial,
         "convergence_time",
         VARIANT_NAMES,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _comparison_figure(
         "fig8d",

@@ -16,7 +16,7 @@ from ...bgp import VARIANT_NAMES
 from ...core import check_wrate_regression
 from ..config import RunSettings
 from ..report import FigureData
-from ..scenarios import tlong_bclique, tlong_internet
+from ..scenarios import bclique_tlong_trial, internet_tlong_trial
 from .common import variant_comparison_series
 from .fig8 import _comparison_figure
 
@@ -26,16 +26,18 @@ def figure9a(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """TTL exhaustions normalized by standard BGP, Tlong in B-Cliques."""
     raw = variant_comparison_series(
         [float(s) for s in sizes],
-        lambda x, seed: tlong_bclique(int(x)),
+        bclique_tlong_trial,
         "ttl_exhaustions",
         VARIANT_NAMES,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _comparison_figure(
         "fig9a",
@@ -53,16 +55,18 @@ def figure9b(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Convergence time per variant, Tlong in B-Cliques."""
     raw = variant_comparison_series(
         [float(s) for s in sizes],
-        lambda x, seed: tlong_bclique(int(x)),
+        bclique_tlong_trial,
         "convergence_time",
         VARIANT_NAMES,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _comparison_figure(
         "fig9b",
@@ -80,6 +84,7 @@ def figure9c(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """TTL exhaustions per variant, Tlong on Internet-derived graphs.
 
@@ -89,12 +94,13 @@ def figure9c(
     """
     raw = variant_comparison_series(
         [float(s) for s in sizes],
-        lambda x, seed: tlong_internet(int(x), seed=seed),
+        internet_tlong_trial,
         "ttl_exhaustions",
         VARIANT_NAMES,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     figure = _comparison_figure(
         "fig9c",
@@ -116,16 +122,18 @@ def figure9d(
     mrai: float = 30.0,
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
+    jobs: int = 1,
 ) -> FigureData:
     """Convergence time per variant, Tlong on Internet-derived graphs."""
     raw = variant_comparison_series(
         [float(s) for s in sizes],
-        lambda x, seed: tlong_internet(int(x), seed=seed),
+        internet_tlong_trial,
         "convergence_time",
         VARIANT_NAMES,
         mrai=mrai,
         seeds=seeds,
         settings=settings,
+        jobs=jobs,
     )
     return _comparison_figure(
         "fig9d",

@@ -27,7 +27,10 @@ simulation, so sweeps can record the post-mortem and continue.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotation only)
+    from ..analysis.determinism import RunFingerprint
 
 from ..bgp import BgpConfig, BgpSpeaker, RoutingPolicy
 from ..core import LoopStudyResult, loop_timeline, measure_convergence
@@ -48,7 +51,14 @@ shortest-path policy."""
 
 @dataclass
 class ExperimentRun:
-    """A completed run: the metrics plus enough context to interpret them."""
+    """A completed run: the metrics plus enough context to interpret them.
+
+    Everything here except ``network`` is plain data and picklable, so a
+    run produced inside a parallel-sweep worker travels home intact.  The
+    live ``network`` (scheduler callbacks, channels) is only retained on
+    request and never crosses a process boundary; sweeps that need the
+    trace digest set ``fingerprint`` before dropping it.
+    """
 
     scenario: Scenario
     bgp_config: BgpConfig
@@ -61,6 +71,9 @@ class ExperimentRun:
     fib_log: FibChangeLog
     route_log: RouteChangeLog = field(default_factory=RouteChangeLog)
     network: Optional[Network] = None
+    fingerprint: Optional["RunFingerprint"] = None
+    """SHA-256 reduction of the run (trace/FIB/summary), populated by
+    ``sweep(..., digests=True)`` as the parallel-equivalence oracle."""
 
     @property
     def converged(self) -> bool:

@@ -279,6 +279,65 @@ def tflap_bclique(n: int, period: float, count: int = 3) -> Scenario:
     )
 
 
+# ----------------------------------------------------------------------
+# Trial adapters: (x, seed) -> Scenario, module-level so they pickle
+# ----------------------------------------------------------------------
+#
+# Sweeps call ``make_scenario(x, seed)``; the family constructors above
+# take domain parameters (clique size, flap period...).  These adapters fix
+# the translation once, at module scope, so parallel sweeps can ship them
+# to worker processes by reference (see repro.experiments.spec).  Fixed
+# parameters (a constant topology size under an MRAI sweep, a flap count)
+# are bound with ``factory_ref(adapter, size=...)``.
+
+
+def clique_tdown_trial(x: float, seed: int) -> Scenario:
+    """x is the clique size (Figures 4a, 6a, 8a/8b, 9a/9b...)."""
+    return tdown_clique(int(x))
+
+
+def bclique_tlong_trial(x: float, seed: int) -> Scenario:
+    """x is the B-Clique size (Figures 4b, 6b)."""
+    return tlong_bclique(int(x))
+
+
+def internet_tdown_trial(x: float, seed: int) -> Scenario:
+    """x is the Internet-like graph size; the seed varies the graph."""
+    return tdown_internet(int(x), seed=seed)
+
+
+def internet_tlong_trial(x: float, seed: int) -> Scenario:
+    """x is the Internet-like graph size; the seed varies the graph."""
+    return tlong_internet(int(x), seed=seed)
+
+
+def clique_tdown_fixed(x: float, seed: int, *, size: int) -> Scenario:
+    """Fixed-size clique Tdown for sweeps whose x is something else (MRAI)."""
+    return tdown_clique(size)
+
+
+def bclique_tlong_fixed(x: float, seed: int, *, size: int) -> Scenario:
+    """Fixed-size B-Clique Tlong for MRAI-on-the-x-axis sweeps."""
+    return tlong_bclique(size)
+
+
+def bclique_tflap_trial(x: float, seed: int, *, size: int, count: int = 3) -> Scenario:
+    """x is the flap period over a fixed-size B-Clique (churn sweeps)."""
+    return tflap_bclique(size, period=x, count=count)
+
+
+def clique_treset_trial(x: float, seed: int) -> Scenario:
+    """x is the clique size; the (0, 1) session is reset."""
+    return treset_clique(int(x))
+
+
+def clique_tcrash_trial(
+    x: float, seed: int, *, restart_after: Optional[float] = 30.0
+) -> Scenario:
+    """x is the clique size; transit AS 1 crashes."""
+    return tcrash_clique(int(x), restart_after=restart_after)
+
+
 def custom_tdown(topology: Topology, destination: int, name: str = "") -> Scenario:
     """Tdown on a user-supplied topology."""
     return Scenario(

@@ -14,12 +14,38 @@ the runner captured one) and the sweep continues; each
 :class:`SweepPoint` reports how many of its trials succeeded.  Programming
 errors — :class:`~repro.errors.ProtocolError`, bad configuration — still
 propagate: they invalidate the whole sweep, not one trial.
+
+Parallel execution
+------------------
+
+Trials are independent by construction (each builds its own scheduler,
+network, and RNG streams from ``(x, seed)``), which makes the trial the
+natural unit of fan-out.  ``sweep(..., jobs=N)`` runs trials on a
+:class:`concurrent.futures.ProcessPoolExecutor` with ``N`` workers
+(``jobs=0`` means one per CPU); results are reassembled into
+:class:`SweepPoint` lists in deterministic ``(x, seed)`` order no matter
+which worker finished first, so a parallel sweep is *bit-identical* to a
+sequential one — a property the test suite proves with the PR-2
+determinism digests (``digests=True`` attaches a
+:class:`~repro.analysis.determinism.RunFingerprint` to every run).
+
+Crossing the process boundary constrains the factories: closures cannot be
+pickled, so ``jobs > 1`` requires module-level factory functions or
+:func:`~repro.experiments.spec.factory_ref` wrappers (the built-in figure
+drivers already comply).  Fault isolation survives the boundary — a worker
+trial that raises :class:`~repro.errors.SimulationError` comes back as a
+picklable :class:`TrialFailure` carrying its diagnostic snapshot, while
+:class:`~repro.errors.SanitizerError` (the simulator itself is wrong)
+still aborts the whole sweep from any worker.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..bgp import BgpConfig
 from ..core import LoopStudyResult
@@ -38,7 +64,12 @@ ConfigFactory = Callable[[float], BgpConfig]
 
 @dataclass(frozen=True)
 class TrialFailure:
-    """One trial that died, preserved for the post-mortem."""
+    """One trial that died, preserved for the post-mortem.
+
+    Frozen and picklable (including the error's diagnostic snapshot, see
+    :meth:`~repro.errors.BudgetExceededError.__reduce__`), so failures
+    recorded inside pool workers survive the trip home.
+    """
 
     x: float
     seed: int
@@ -51,6 +82,25 @@ class TrialFailure:
 
     def __repr__(self) -> str:
         return f"TrialFailure(x={self.x}, seed={self.seed}: {self.error})"
+
+
+@dataclass(frozen=True)
+class TrialProgress:
+    """One completed trial, reported to the sweep's progress callback.
+
+    ``done``/``total`` count attempted trials; in parallel mode callbacks
+    arrive in *completion* order (the only nondeterministic observable —
+    the returned points are always in task order).
+    """
+
+    done: int
+    total: int
+    x: float
+    seed: int
+    ok: bool
+
+
+ProgressCallback = Callable[[TrialProgress], None]
 
 
 @dataclass
@@ -83,7 +133,8 @@ class SweepPoint:
     def mean_metric(self, name: str) -> float:
         """Trial-mean of one ``LoopStudyResult.summary_row()`` metric.
 
-        Computed over the *successful* trials; raises when none survived.
+        Computed over the *successful* trials; raises :class:`AnalysisError`
+        (never ``ZeroDivisionError``) when none survived.
         """
         values = [result.summary_row()[name] for result in self.results]
         if not values:
@@ -104,6 +155,117 @@ class SweepPoint:
         return {key: self.mean_metric(key) for key in keys}
 
 
+@dataclass(frozen=True)
+class TrialTask:
+    """One ``(x, seed)`` trial, fully specified and (given picklable
+    factories) shippable to a worker process."""
+
+    index: int
+    x: float
+    seed: int
+    make_scenario: ScenarioFactory
+    make_config: ConfigFactory
+    settings: RunSettings
+    digests: bool = False
+
+
+TrialOutcome = Union[ExperimentRun, TrialFailure]
+
+
+def run_trial(task: TrialTask) -> TrialOutcome:
+    """Execute one trial; the worker-side entry point of a parallel sweep.
+
+    Module-level (not a closure) so pool workers import it by reference.
+    :class:`~repro.errors.SimulationError` — the per-trial fault-isolation
+    class — is converted to a :class:`TrialFailure`; everything else
+    (sanitizer trips, protocol invariant violations, config errors)
+    propagates and aborts the sweep from whichever process it ran in.
+    """
+    scenario = task.make_scenario(task.x, task.seed)
+    config = task.make_config(task.x)
+    try:
+        run = run_experiment(
+            scenario,
+            config,
+            settings=task.settings,
+            seed=task.seed,
+            keep_network=task.digests,
+        )
+    except SimulationError as exc:
+        return TrialFailure(x=task.x, seed=task.seed, error=exc)
+    if task.digests:
+        # Imported lazily: analysis.determinism itself imports this package.
+        from ..analysis.determinism import fingerprint_run
+
+        run.fingerprint = fingerprint_run(run)
+        # The live network (scheduler callbacks, channel closures) is not
+        # picklable and was only kept to fingerprint the trace; drop it so
+        # sequential and parallel runs return identical objects.
+        run.network = None
+    return run
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if not isinstance(jobs, int) or isinstance(jobs, bool):
+        raise AnalysisError(f"jobs must be an int, got {jobs!r}")
+    if jobs < 0:
+        raise AnalysisError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _check_tasks_picklable(task: TrialTask) -> None:
+    """Fail fast, with a remedy, before submitting closures to the pool."""
+    try:
+        pickle.dumps(task)
+    except Exception as exc:
+        raise AnalysisError(
+            f"sweep factories cannot cross the process boundary ({exc}); "
+            f"jobs > 1 needs module-level factories or "
+            f"repro.experiments.factory_ref(...) wrappers — closures and "
+            f"lambdas only work with jobs=1"
+        ) from exc
+
+
+def _run_tasks_parallel(
+    tasks: Sequence[TrialTask],
+    jobs: int,
+    on_progress: Optional[ProgressCallback],
+) -> Dict[int, TrialOutcome]:
+    """Fan tasks out to a process pool; return outcomes keyed by task index.
+
+    Completion order is nondeterministic; the caller reassembles in task
+    order.  A non-isolated error in any worker cancels what it can and
+    propagates.
+    """
+    _check_tasks_picklable(tasks[0])
+    outcomes: Dict[int, TrialOutcome] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        index_of = {pool.submit(run_trial, task): task.index for task in tasks}
+        try:
+            for future in as_completed(index_of):
+                index = index_of[future]
+                outcome = future.result()
+                outcomes[index] = outcome
+                if on_progress is not None:
+                    task = tasks[index]
+                    on_progress(
+                        TrialProgress(
+                            done=len(outcomes),
+                            total=len(tasks),
+                            x=task.x,
+                            seed=task.seed,
+                            ok=not isinstance(outcome, TrialFailure),
+                        )
+                    )
+        except BaseException:
+            for future in index_of:
+                future.cancel()
+            raise
+    return outcomes
+
+
 def sweep(
     xs: Sequence[float],
     make_scenario: ScenarioFactory,
@@ -112,6 +274,9 @@ def sweep(
     settings: RunSettings = RunSettings(),
     on_error: str = "record",
     on_trial_error: Optional[Callable[[TrialFailure], None]] = None,
+    jobs: int = 1,
+    digests: bool = False,
+    on_progress: Optional[ProgressCallback] = None,
 ) -> List[SweepPoint]:
     """Run ``len(xs) × len(seeds)`` experiments and group them by x.
 
@@ -126,12 +291,28 @@ def sweep(
       :class:`~repro.errors.SimulationError` (budget exhaustion,
       non-convergence) is appended to its point's ``failures`` and the
       sweep continues; ``on_trial_error`` (if given) observes each failure
-      as it happens, e.g. to log progress.
-    * ``"raise"`` — the first failing trial aborts the sweep (the seed's
-      behavior; useful when any failure means the setup itself is wrong).
+      in deterministic ``(x, seed)`` order.
+    * ``"raise"`` — a failing trial aborts the sweep (the seed's behavior;
+      useful when any failure means the setup itself is wrong).
+      Sequentially the abort is immediate; with ``jobs > 1`` every trial is
+      attempted first and the task-order-earliest failure is raised, so the
+      raised error is deterministic regardless of completion order.
 
-    Non-simulation errors (protocol invariant violations, bad
-    configuration) always propagate.
+    Non-simulation errors (protocol invariant violations, sanitizer trips,
+    bad configuration) always propagate — from workers too.
+
+    ``jobs`` selects the executor: ``1`` (default) runs in-process exactly
+    as before; ``N > 1`` fans trials out to ``N`` worker processes;
+    ``0`` uses one worker per CPU.  Parallel results are reassembled in
+    ``(x, seed)`` task order and are digest-identical to sequential runs.
+
+    ``digests=True`` attaches a SHA-256
+    :class:`~repro.analysis.determinism.RunFingerprint` (trace, FIB log,
+    summary metrics) to each successful ``run.fingerprint`` — the
+    equivalence oracle for the parallel path.
+
+    ``on_progress`` observes every completed trial (completion order when
+    parallel) — wire it to a counter or log line for long sweeps.
     """
     if not xs:
         raise AnalysisError("sweep needs at least one x value")
@@ -139,29 +320,67 @@ def sweep(
         raise AnalysisError("sweep needs at least one seed")
     if on_error not in ("record", "raise"):
         raise AnalysisError(f"on_error must be 'record' or 'raise', got {on_error!r}")
+    jobs = _resolve_jobs(jobs)
+
+    tasks: List[TrialTask] = []
+    for x in xs:
+        for seed in seeds:
+            tasks.append(
+                TrialTask(
+                    index=len(tasks),
+                    x=x,
+                    seed=seed,
+                    make_scenario=make_scenario,
+                    make_config=make_config,
+                    settings=settings,
+                    digests=digests,
+                )
+            )
+
+    if jobs == 1:
+        outcomes: Dict[int, TrialOutcome] = {}
+        for task in tasks:
+            outcome = run_trial(task)
+            if isinstance(outcome, TrialFailure) and on_error == "raise":
+                raise outcome.error
+            outcomes[task.index] = outcome
+            if on_progress is not None:
+                on_progress(
+                    TrialProgress(
+                        done=len(outcomes),
+                        total=len(tasks),
+                        x=task.x,
+                        seed=task.seed,
+                        ok=not isinstance(outcome, TrialFailure),
+                    )
+                )
+    else:
+        outcomes = _run_tasks_parallel(tasks, jobs, on_progress)
+
+    # Deterministic reassembly: walk tasks in submission order — the
+    # REP103-clean path that makes jobs=N output identical to jobs=1.
     points: List[SweepPoint] = []
+    cursor = 0
     for x in xs:
         point = SweepPoint(x=x)
-        for seed in seeds:
-            scenario = make_scenario(x, seed)
-            config = make_config(x)
-            try:
-                point.runs.append(
-                    run_experiment(scenario, config, settings=settings, seed=seed)
-                )
-            except SimulationError as exc:
-                if on_error == "raise":
-                    raise
-                failure = TrialFailure(x=x, seed=seed, error=exc)
-                point.failures.append(failure)
-                if on_trial_error is not None:
-                    on_trial_error(failure)
         points.append(point)
+        for _seed in seeds:
+            task = tasks[cursor]
+            outcome = outcomes[task.index]
+            cursor += 1
+            if isinstance(outcome, TrialFailure):
+                if on_error == "raise":
+                    raise outcome.error
+                point.failures.append(outcome)
+                if on_trial_error is not None:
+                    on_trial_error(outcome)
+            else:
+                point.runs.append(outcome)
     return points
 
 
 def failures_of(points: Sequence[SweepPoint]) -> List[TrialFailure]:
-    """Every recorded trial failure across the sweep, in run order."""
+    """Every recorded trial failure across the sweep, in ``(x, seed)`` order."""
     return [failure for point in points for failure in point.failures]
 
 

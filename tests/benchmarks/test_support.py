@@ -1,0 +1,193 @@
+"""The benchmark journal: interrupted sweeps must resume, not restart.
+
+``checkpointed_sweep`` appends one JSON line per finished point; these
+tests drive it against real (tiny) sweeps and assert that a rerun only
+executes the missing x values, that torn journal lines are tolerated, and
+that an all-failed point journals ``metrics == {}`` instead of wedging
+the resume loop.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+
+from _support import PointRecord, checkpointed_sweep, load_point_journal
+
+from repro.bgp import BgpConfig
+from repro.experiments import RunSettings, constant_config, factory_ref
+from repro.experiments.scenarios import clique_tdown_trial
+
+FAST = BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05))
+SETTINGS = RunSettings(failure_guard=0.5)
+#: Budget that kills a 6-clique but lets a 3-clique finish (see
+#: tests/experiments/test_parallel_sweep.py for the calibration).
+TIGHT = RunSettings(failure_guard=0.5, event_budget=200)
+
+MAKE_CONFIG = factory_ref(constant_config, config=FAST)
+
+
+def journal_lines(path):
+    return [
+        line for line in path.read_text(encoding="utf-8").splitlines() if line
+    ]
+
+
+class TestCheckpointedSweep:
+    def test_points_journal_as_they_finish(self, tmp_path):
+        journal = tmp_path / "sweep.points.jsonl"
+        records = checkpointed_sweep(
+            "unused",
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+        )
+        assert [r.x for r in records] == [3, 4]
+        assert all(r.succeeded == 1 and r.failed == 0 for r in records)
+        assert len(journal_lines(journal)) == 2
+
+    def test_interrupted_run_resumes_without_repeating(self, tmp_path):
+        journal = tmp_path / "sweep.points.jsonl"
+        # "Interrupt": the first invocation only got through x=3.
+        first = checkpointed_sweep(
+            "unused",
+            [3],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+        )
+        resumed = checkpointed_sweep(
+            "unused",
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+        )
+        assert [r.x for r in resumed] == [3, 4]
+        # x=3 was loaded from the journal, byte-identical to the first run.
+        assert resumed[0] == first[0]
+        # Only one new line was appended (x=4); x=3 was not re-journaled.
+        assert len(journal_lines(journal)) == 2
+
+    def test_resume_skips_completed_x_entirely(self, tmp_path, monkeypatch):
+        journal = tmp_path / "sweep.points.jsonl"
+        checkpointed_sweep(
+            "unused",
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+        )
+
+        # With every point journaled, a rerun must not call sweep at all.
+        def exploding_sweep(*args, **kwargs):
+            raise AssertionError("sweep re-executed a completed point")
+
+        monkeypatch.setattr(
+            "repro.experiments.sweep", exploding_sweep, raising=True
+        )
+        records = checkpointed_sweep(
+            "unused",
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+        )
+        assert [r.x for r in records] == [3, 4]
+        assert all(r.metrics["convergence_time"] > 0 for r in records)
+
+    def test_fresh_discards_the_journal(self, tmp_path):
+        journal = tmp_path / "sweep.points.jsonl"
+        journal.write_text(
+            PointRecord(x=3, succeeded=9, failed=9, metrics={}).to_json()
+            + "\n",
+            encoding="utf-8",
+        )
+        records = checkpointed_sweep(
+            "unused",
+            [3],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+            fresh=True,
+        )
+        # The bogus journaled counts are gone; the point was re-run.
+        assert records[0].succeeded == 1
+        assert records[0].failed == 0
+
+    def test_torn_final_line_is_skipped_and_rerun(self, tmp_path):
+        journal = tmp_path / "sweep.points.jsonl"
+        good = PointRecord(
+            x=3, succeeded=1, failed=0, metrics={"convergence_time": 1.0}
+        )
+        # The interrupt arrived mid-write: the x=4 line is truncated.
+        journal.write_text(
+            good.to_json() + "\n" + '{"x": 4, "succ', encoding="utf-8"
+        )
+        completed = load_point_journal(journal)
+        assert set(completed) == {3}
+
+        records = checkpointed_sweep(
+            "unused",
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+        )
+        assert [r.x for r in records] == [3, 4]
+        assert records[0] == good  # loaded, not re-run
+        assert records[1].succeeded == 1  # re-run despite the torn line
+
+    def test_all_failed_point_journals_empty_metrics(self, tmp_path):
+        journal = tmp_path / "sweep.points.jsonl"
+        records = checkpointed_sweep(
+            "unused",
+            [6],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=TIGHT,
+            path=journal,
+        )
+        assert records[0].failed == 1
+        assert records[0].succeeded == 0
+        assert records[0].metrics == {}
+        # And the journal line is valid JSON a resume can load.
+        reloaded = load_point_journal(journal)
+        assert reloaded[6].metrics == {}
+
+
+class TestPointRecordJson:
+    def test_round_trip(self):
+        record = PointRecord(
+            x=5.0,
+            succeeded=2,
+            failed=1,
+            metrics={"updates_sent": 42.0, "distinct_loops": 1.5},
+        )
+        assert PointRecord.from_json(record.to_json()) == record
+
+    def test_json_is_one_line(self):
+        record = PointRecord(x=1.0, succeeded=1, failed=0, metrics={})
+        assert "\n" not in record.to_json()
+        assert json.loads(record.to_json())["x"] == 1.0

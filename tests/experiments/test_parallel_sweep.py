@@ -1,0 +1,283 @@
+"""The parallel sweep executor: digest-verified equivalence to sequential.
+
+The contract under test: ``sweep(..., jobs=N)`` is *bit-identical* to
+``sweep(..., jobs=1)`` — same per-trial trace/FIB/summary SHA-256
+fingerprints, same aggregate point metrics, same failures in the same
+order — with fault isolation preserved across the process boundary.
+"""
+
+import pytest
+
+from repro.bgp import BgpConfig
+from repro.errors import AnalysisError, BudgetExceededError, ConfigError
+from repro.experiments import (
+    RunSettings,
+    TrialProgress,
+    bclique_tflap_trial,
+    clique_tdown_trial,
+    constant_config,
+    factory_ref,
+    failures_of,
+    sweep,
+    xs_of,
+)
+
+FAST = BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05))
+SETTINGS = RunSettings(failure_guard=0.5)
+#: Kills the 6-clique's warm-up while the 3-clique sails through
+#: (calibrated: the 6-clique needs > 200 events, the 3-clique far fewer).
+TIGHT = RunSettings(failure_guard=0.5, event_budget=200)
+
+MAKE_CONFIG = factory_ref(constant_config, config=FAST)
+
+JOBS = 4
+
+
+def digests(points):
+    return [run.fingerprint.digest for point in points for run in point.runs]
+
+
+class TestGoldenEquivalence:
+    """jobs=1 and jobs=4 must be indistinguishable, digest by digest."""
+
+    @pytest.fixture(scope="class")
+    def tdown_pair(self):
+        kwargs = dict(seeds=(0, 1), settings=SETTINGS, digests=True)
+        sequential = sweep([3, 4], clique_tdown_trial, MAKE_CONFIG, **kwargs)
+        parallel = sweep(
+            [3, 4], clique_tdown_trial, MAKE_CONFIG, jobs=JOBS, **kwargs
+        )
+        return sequential, parallel
+
+    @pytest.fixture(scope="class")
+    def tflap_pair(self):
+        make_scenario = factory_ref(bclique_tflap_trial, size=3, count=2)
+        kwargs = dict(seeds=(0, 1), settings=SETTINGS, digests=True)
+        sequential = sweep([5.0, 9.0], make_scenario, MAKE_CONFIG, **kwargs)
+        parallel = sweep(
+            [5.0, 9.0], make_scenario, MAKE_CONFIG, jobs=JOBS, **kwargs
+        )
+        return sequential, parallel
+
+    def test_tdown_trial_digests_identical(self, tdown_pair):
+        sequential, parallel = tdown_pair
+        assert digests(sequential) == digests(parallel)
+        assert len(digests(sequential)) == 4
+
+    def test_tdown_aggregate_metrics_identical(self, tdown_pair):
+        sequential, parallel = tdown_pair
+        assert [p.metrics() for p in sequential] == [
+            p.metrics() for p in parallel
+        ]
+
+    def test_tdown_point_order_is_task_order(self, tdown_pair):
+        _, parallel = tdown_pair
+        assert xs_of(parallel) == [3, 4]
+        assert [run.seed for point in parallel for run in point.runs] == [
+            0, 1, 0, 1,
+        ]
+
+    def test_tflap_trial_digests_identical(self, tflap_pair):
+        sequential, parallel = tflap_pair
+        assert digests(sequential) == digests(parallel)
+        assert len(digests(sequential)) == 4
+
+    def test_tflap_aggregate_metrics_identical(self, tflap_pair):
+        sequential, parallel = tflap_pair
+        assert [p.metrics() for p in sequential] == [
+            p.metrics() for p in parallel
+        ]
+
+    def test_fingerprints_cover_trace_fib_and_summary(self, tdown_pair):
+        sequential, _ = tdown_pair
+        fingerprint = sequential[0].runs[0].fingerprint
+        assert fingerprint.messages > 0
+        assert fingerprint.fib_changes > 0
+        assert "convergence_time=" in fingerprint.summary_line
+
+    def test_networks_dropped_in_both_modes(self, tdown_pair):
+        sequential, parallel = tdown_pair
+        assert all(r.network is None for p in sequential for r in p.runs)
+        assert all(r.network is None for p in parallel for r in p.runs)
+
+
+class TestFailureEquivalence:
+    """An injected BudgetExceededError trial must not perturb equivalence."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        kwargs = dict(seeds=(0,), settings=TIGHT, digests=True)
+        sequential = sweep([3, 6], clique_tdown_trial, MAKE_CONFIG, **kwargs)
+        parallel = sweep(
+            [3, 6], clique_tdown_trial, MAKE_CONFIG, jobs=JOBS, **kwargs
+        )
+        return sequential, parallel
+
+    def test_failure_is_injected(self, pair):
+        sequential, _ = pair
+        assert [(p.succeeded, p.failed) for p in sequential] == [(1, 0), (0, 1)]
+
+    def test_failures_match_sequential(self, pair):
+        sequential, parallel = pair
+        seq_failure = failures_of(sequential)[0]
+        par_failure = failures_of(parallel)[0]
+        assert (par_failure.x, par_failure.seed) == (seq_failure.x, seq_failure.seed)
+        assert isinstance(par_failure.error, BudgetExceededError)
+        assert str(par_failure.error) == str(seq_failure.error)
+
+    def test_snapshot_survives_worker_boundary(self, pair):
+        sequential, parallel = pair
+        seq_snapshot = failures_of(sequential)[0].snapshot
+        par_snapshot = failures_of(parallel)[0].snapshot
+        assert par_snapshot is not None
+        assert par_snapshot == seq_snapshot
+        assert par_snapshot.events_processed > 0
+        assert "t=" in par_snapshot.render()
+
+    def test_surviving_trials_digest_identical(self, pair):
+        sequential, parallel = pair
+        assert digests(sequential) == digests(parallel)
+        assert len(digests(sequential)) == 1
+
+    def test_on_trial_error_called_in_task_order(self):
+        seen = []
+        sweep(
+            [3, 6],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=TIGHT,
+            jobs=JOBS,
+            on_trial_error=lambda failure: seen.append((failure.x, failure.seed)),
+        )
+        assert seen == [(6, 0)]
+
+    def test_on_error_raise_raises_from_workers(self):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            sweep(
+                [3, 6],
+                clique_tdown_trial,
+                MAKE_CONFIG,
+                seeds=(0,),
+                settings=TIGHT,
+                jobs=JOBS,
+                on_error="raise",
+            )
+        # The snapshot still rides on the raised error.
+        assert excinfo.value.snapshot is not None
+
+
+class TestExecutorPlumbing:
+    def test_jobs_zero_means_cpu_count(self):
+        points = sweep(
+            [3],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            jobs=0,
+        )
+        assert points[0].succeeded == 1
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep([3], clique_tdown_trial, MAKE_CONFIG, jobs=-1)
+
+    def test_closures_rejected_with_remedy(self):
+        with pytest.raises(AnalysisError, match="factory_ref"):
+            sweep(
+                [3],
+                lambda x, seed: None,
+                MAKE_CONFIG,
+                settings=SETTINGS,
+                jobs=2,
+            )
+
+    def test_closures_still_fine_sequentially(self):
+        from repro.experiments import tdown_clique
+
+        points = sweep(
+            [3],
+            lambda x, seed: tdown_clique(int(x)),
+            lambda x: FAST,
+            seeds=(0,),
+            settings=SETTINGS,
+        )
+        assert points[0].succeeded == 1
+
+    def test_progress_callback_sees_every_trial(self):
+        seen = []
+        sweep(
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0, 1),
+            settings=SETTINGS,
+            jobs=2,
+            on_progress=seen.append,
+        )
+        assert len(seen) == 4
+        assert [p.done for p in seen] == [1, 2, 3, 4]
+        assert all(isinstance(p, TrialProgress) and p.ok for p in seen)
+        assert {(p.x, p.seed) for p in seen} == {
+            (3, 0), (3, 1), (4, 0), (4, 1),
+        }
+
+    def test_progress_callback_sequential_order(self):
+        seen = []
+        sweep(
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            on_progress=seen.append,
+        )
+        assert [(p.x, p.seed, p.done, p.total) for p in seen] == [
+            (3, 0, 1, 2), (4, 0, 2, 2),
+        ]
+
+
+class TestFactoryRef:
+    def test_ref_is_callable_like_the_function(self):
+        ref = factory_ref(clique_tdown_trial)
+        assert ref(4, 0).name == "tdown-clique-4"
+
+    def test_kwargs_are_bound(self):
+        ref = factory_ref(bclique_tflap_trial, size=3, count=2)
+        scenario = ref(5.0, 1)
+        assert scenario.flap_period == 5.0
+        assert scenario.flap_count == 2
+
+    def test_string_target_resolves(self):
+        ref = factory_ref(
+            "repro.experiments.scenarios:clique_tdown_trial"
+        )
+        assert ref(3, 0).name == "tdown-clique-3"
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ConfigError, match="module-level"):
+            factory_ref(lambda x, seed: None)
+
+    def test_inner_function_rejected(self):
+        def inner(x, seed):
+            return None
+
+        with pytest.raises(ConfigError, match="module-level"):
+            factory_ref(inner)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigError):
+            factory_ref("repro.experiments.scenarios:does_not_exist")
+
+    def test_unpicklable_kwargs_rejected(self):
+        with pytest.raises(ConfigError, match="picklable"):
+            factory_ref(clique_tdown_trial, hook=lambda: None)
+
+    def test_ref_round_trips_through_pickle(self):
+        import pickle
+
+        ref = factory_ref(bclique_tflap_trial, size=3)
+        clone = pickle.loads(pickle.dumps(ref))
+        assert clone == ref
+        assert clone(5.0, 0).name == ref(5.0, 0).name

@@ -3,8 +3,17 @@
 import pytest
 
 from repro.bgp import BgpConfig
-from repro.errors import AnalysisError
-from repro.experiments import RunSettings, series, sweep, tdown_clique, xs_of
+from repro.errors import AnalysisError, SimulationError
+from repro.experiments import (
+    RunSettings,
+    SweepPoint,
+    TrialFailure,
+    failures_of,
+    series,
+    sweep,
+    tdown_clique,
+    xs_of,
+)
 
 FAST = BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05))
 SETTINGS = RunSettings(failure_guard=0.5)
@@ -67,7 +76,87 @@ class TestSweep:
             sweep([3], lambda x, s: tdown_clique(3), lambda x: FAST, seeds=())
 
     def test_empty_point_raises_on_aggregation(self):
-        from repro.experiments import SweepPoint
-
         with pytest.raises(AnalysisError):
             SweepPoint(x=1.0).mean_metric("convergence_time")
+
+
+class _StubResult:
+    def __init__(self, row):
+        self._row = row
+
+    def summary_row(self):
+        return dict(self._row)
+
+
+class _StubRun:
+    """Just enough of an ExperimentRun for SweepPoint statistics."""
+
+    def __init__(self, **row):
+        self.result = _StubResult(row)
+
+
+def _failure(x, seed):
+    return TrialFailure(x=x, seed=seed, error=SimulationError("died"))
+
+
+class TestSweepPointStatistics:
+    """Aggregation edge cases: failed trials must degrade loudly, not by
+    dividing by zero or silently skewing means."""
+
+    def test_all_failed_point_raises_analysis_error_not_zero_division(self):
+        point = SweepPoint(
+            x=6.0, failures=[_failure(6.0, 0), _failure(6.0, 1)]
+        )
+        with pytest.raises(AnalysisError) as excinfo:
+            point.mean_metric("convergence_time")
+        assert not isinstance(excinfo.value, ZeroDivisionError)
+        assert "2 of 2 trials failed" in str(excinfo.value)
+
+    def test_all_failed_point_metrics_raises_with_counts(self):
+        point = SweepPoint(x=6.0, failures=[_failure(6.0, 0)])
+        with pytest.raises(AnalysisError, match="1 of 1 trials failed"):
+            point.metrics()
+
+    def test_mixed_point_counts(self):
+        point = SweepPoint(
+            x=5.0,
+            runs=[_StubRun(m=1.0), _StubRun(m=3.0)],
+            failures=[_failure(5.0, 2)],
+        )
+        assert point.trials == 3
+        assert point.succeeded == 2
+        assert point.failed == 1
+
+    def test_mixed_point_mean_uses_only_successes(self):
+        point = SweepPoint(
+            x=5.0,
+            runs=[_StubRun(m=1.0), _StubRun(m=3.0)],
+            failures=[_failure(5.0, 2), _failure(5.0, 3)],
+        )
+        assert point.mean_metric("m") == pytest.approx(2.0)
+
+    def test_failures_of_preserves_x_major_seed_minor_order(self):
+        points = [
+            SweepPoint(x=3.0, failures=[_failure(3.0, 0), _failure(3.0, 2)]),
+            SweepPoint(x=4.0, runs=[_StubRun(m=1.0)]),
+            SweepPoint(x=5.0, failures=[_failure(5.0, 1)]),
+        ]
+        assert [(f.x, f.seed) for f in failures_of(points)] == [
+            (3.0, 0), (3.0, 2), (5.0, 1),
+        ]
+
+    def test_series_preserves_point_order(self):
+        points = [
+            SweepPoint(x=4.0, runs=[_StubRun(m=4.5)]),
+            SweepPoint(x=3.0, runs=[_StubRun(m=3.5)]),
+        ]
+        assert series(points, "m") == [4.5, 3.5]
+        assert xs_of(points) == [4.0, 3.0]
+
+    def test_series_propagates_dead_point_error(self):
+        points = [
+            SweepPoint(x=3.0, runs=[_StubRun(m=1.0)]),
+            SweepPoint(x=4.0, failures=[_failure(4.0, 0)]),
+        ]
+        with pytest.raises(AnalysisError, match="x=4.0"):
+            series(points, "m")

@@ -201,3 +201,27 @@ class TestDeterminismCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "convergence time" in out
+
+    def test_parallel_runs_identical_to_in_parent_baseline(self, capsys):
+        code = main(
+            ["determinism", "--size", "3", "--mrai", "1",
+             "--runs", "3", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "IDENTICAL" in capsys.readouterr().out
+
+
+class TestJobsFlag:
+    def test_quick_figure_with_jobs(self, capsys):
+        code = main(["figure", "fig4a", "--quick", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig4a" in out
+
+    def test_driver_without_jobs_support_still_runs(self, capsys):
+        # The theory figure has no sweep to parallelize; --jobs is noted
+        # on stderr and ignored rather than crashing the driver.
+        code = main(["figure", "theory", "--quick", "--jobs", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "--jobs" in captured.err
