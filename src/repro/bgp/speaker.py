@@ -249,6 +249,9 @@ class BgpSpeaker(Node):
             # Path-based poison reverse: the route is unusable for us, and it
             # *replaces* src's previous announcement (implicit withdrawal).
             self.routes_discarded_by_poison_reverse += 1
+            telemetry = self.scheduler.telemetry
+            if telemetry is not None:
+                telemetry.on_variant_extra(self.node_id, "poison_reverse")
             self.adj_rib_in.remove(src, prefix)
         else:
             provisional = Route(
@@ -279,9 +282,12 @@ class BgpSpeaker(Node):
         self, prefix: Prefix, src: int, new_path: Optional[AsPath]
     ) -> None:
         """Invalidate stored routes the update from ``src`` proves stale."""
+        telemetry = self.scheduler.telemetry
         for neighbor in stale_entries(self.adj_rib_in, prefix, src, new_path):
             self.adj_rib_in.remove(neighbor, prefix)
             self.routes_removed_by_assertion += 1
+            if telemetry is not None:
+                telemetry.on_variant_extra(self.node_id, "assertion_removal")
 
     # ------------------------------------------------------------------
     # Adjacency changes
@@ -482,10 +488,13 @@ class BgpSpeaker(Node):
             self._sync_peer(peer, prefix)
 
     def _notify_decision(self, prefix: Prefix) -> None:
-        """Report a completed decision run to any installed sanitizers."""
+        """Report a completed decision run to sanitizers and telemetry."""
         hooks = self.scheduler.invariants
         if hooks is not None:
             hooks.on_decision(self, prefix)
+        telemetry = self.scheduler.telemetry
+        if telemetry is not None:
+            telemetry.on_decision(self.node_id, prefix)
 
     def _node_path(self, route: Optional[Route]) -> Optional[AsPath]:
         """A route's path in the paper's notation (self at the head)."""
@@ -506,6 +515,11 @@ class BgpSpeaker(Node):
         if not had_entry and next_hop is None:
             return  # never had a route and still none: nothing changed
         self.fib[prefix] = next_hop
+        telemetry = self.scheduler.telemetry
+        if telemetry is not None:
+            telemetry.on_fib_change(
+                self.scheduler.now, self.node_id, prefix, next_hop
+            )
         if self._fib_listener is not None:
             self._fib_listener(self.scheduler.now, self.node_id, prefix, next_hop)
 
@@ -526,9 +540,14 @@ class BgpSpeaker(Node):
             return
         if self.sessions is not None and not self.sessions.established(peer):
             return
+        telemetry = self.scheduler.telemetry
         desired = self._desired_advertisement(peer, prefix)
         last = self.adj_rib_out.last_sent(peer, prefix)
         if desired == last.path:
+            if telemetry is not None:
+                telemetry.on_update_suppressed(
+                    self.node_id, peer, prefix, "duplicate"
+                )
             return
 
         if desired is None:
@@ -536,6 +555,10 @@ class BgpSpeaker(Node):
                 peer, prefix
             )
             if held:
+                if telemetry is not None:
+                    telemetry.on_update_suppressed(
+                        self.node_id, peer, prefix, "wrate"
+                    )
                 return  # WRATE: the expiry callback will re-derive and send
             self._send_withdrawal(peer, prefix)
             if withdrawals_rate_limited(self.config):
@@ -548,9 +571,13 @@ class BgpSpeaker(Node):
             return
 
         # Announcement held by MRAI.
+        if telemetry is not None:
+            telemetry.on_update_suppressed(self.node_id, peer, prefix, "mrai")
         if self.config.ghost_flushing and should_flush(last, desired):
             self._send_withdrawal(peer, prefix)
             self.flush_withdrawals_sent += 1
+            if telemetry is not None:
+                telemetry.on_variant_extra(self.node_id, "ghost_flush")
         # Otherwise: wait silently; expiry re-syncs from current state.
 
     def _desired_advertisement(self, peer: int, prefix: Prefix) -> Optional[AsPath]:
@@ -563,6 +590,9 @@ class BgpSpeaker(Node):
             # SSLD: the peer would poison-reverse this path away; send the
             # equivalent information as an (immediate) withdrawal instead.
             self.ssld_conversions += 1
+            telemetry = self.scheduler.telemetry
+            if telemetry is not None:
+                telemetry.on_variant_extra(self.node_id, "ssld_conversion")
             return None
         return advertised
 
@@ -583,6 +613,11 @@ class BgpSpeaker(Node):
         self.withdrawals_sent += 1
 
     def _on_mrai_expiry(self, peer: int, prefix: Prefix) -> None:
+        telemetry = self.scheduler.telemetry
+        if telemetry is not None:
+            telemetry.on_mrai_expiry(
+                self.scheduler.now, self.node_id, peer, prefix
+            )
         if not self.link_is_up(peer):
             return
         self._sync_peer(peer, prefix)

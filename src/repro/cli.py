@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro run          # one experiment: topology + event + variant -> metrics
     repro figure       # regenerate one paper figure as an ASCII table
@@ -8,6 +8,7 @@ Six subcommands::
     repro list         # available figures, variants, topology kinds
     repro lint         # determinism lint pass over the simulator's sources
     repro determinism  # dual-run reproducibility check on one scenario
+    repro metrics      # one traced run: telemetry table + timeline exports
 
 Also reachable as ``python -m repro``.  Every command is deterministic for
 a given ``--seed`` — and ``repro determinism`` proves it.
@@ -200,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
             "results are bit-identical to --jobs 1 (default)"
         ),
     )
+    figure.add_argument(
+        "--metrics", action="store_true",
+        help=(
+            "run the sweep with telemetry enabled and print the aggregated "
+            "metric table after the figure (digests are unaffected)"
+        ),
+    )
 
     topo = commands.add_parser("topology", help="generate and print a topology")
     topo.add_argument("--kind", choices=TOPOLOGY_KINDS, default="internet")
@@ -247,6 +255,53 @@ def build_parser() -> argparse.ArgumentParser:
             "equivalence (0 = one worker per CPU)"
         ),
     )
+    determinism.add_argument(
+        "--metrics", action="store_true",
+        help=(
+            "additionally repeat the check with telemetry enabled and "
+            "verify the digest matches the untraced one (proves telemetry "
+            "is purely observational)"
+        ),
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run one telemetry-traced experiment and print its metrics",
+    )
+    metrics.add_argument(
+        "--topology", choices=TOPOLOGY_KINDS, default="clique",
+        help="topology family (default: clique)",
+    )
+    metrics.add_argument(
+        "--size", type=int, default=5, help="topology size parameter"
+    )
+    metrics.add_argument(
+        "--event",
+        choices=("tdown", "tlong", "treset", "tcrash", "tflap"),
+        default="tdown",
+        help="failure event (default: tdown)",
+    )
+    metrics.add_argument(
+        "--variant", choices=VARIANT_NAMES, default="standard",
+        help="protocol variant (default: standard)",
+    )
+    metrics.add_argument("--mrai", type=float, default=2.0, help="MRAI seconds")
+    metrics.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    metrics.add_argument(
+        "--rate", type=float, default=10.0, help="packets/s per source AS"
+    )
+    metrics.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help=(
+            "export the run's timeline as Chrome trace-event JSON "
+            "(loadable in Perfetto / chrome://tracing)"
+        ),
+    )
+    metrics.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="export the run's timeline as JSON Lines",
+    )
+    metrics.set_defaults(restart_after=30.0, flap_period=15.0, flap_count=3)
     return parser
 
 
@@ -349,7 +404,8 @@ def _cmd_figure(args) -> int:
 
     driver = FIGURES[args.id]
     kwargs = dict(QUICK_FIGURE_KWARGS[args.id]) if args.quick else {}
-    if "jobs" in inspect.signature(driver).parameters:
+    parameters = inspect.signature(driver).parameters
+    if "jobs" in parameters:
         kwargs["jobs"] = args.jobs
     elif args.jobs != 1:
         print(
@@ -357,8 +413,26 @@ def _cmd_figure(args) -> int:
             f"--jobs ignored",
             file=sys.stderr,
         )
+    if args.metrics:
+        if "settings" in parameters:
+            kwargs["settings"] = RunSettings(telemetry=True)
+        else:
+            print(
+                f"note: {args.id} does not accept run settings; "
+                f"--metrics ignored",
+                file=sys.stderr,
+            )
     figure = driver(**kwargs)
     print(figure.render())
+    if args.metrics and figure.telemetry is not None:
+        print("\naggregated telemetry (all trials):")
+        print(figure.telemetry.render())
+    elif args.metrics and "settings" in parameters:
+        print(
+            f"note: {args.id} ran with telemetry but attaches no aggregate "
+            f"(non-sweep driver)",
+            file=sys.stderr,
+        )
     if args.plot:
         print()
         print(figure.plot())
@@ -424,7 +498,79 @@ def _cmd_determinism(args) -> int:
         jobs=args.jobs,
     )
     print(report.render())
-    return 0 if report.identical else 1
+    if not report.identical:
+        return 1
+    if args.metrics:
+        from dataclasses import replace
+
+        traced = check_determinism(
+            scenario,
+            config,
+            settings=replace(settings, telemetry=True),
+            seed=args.seed,
+            runs=args.runs,
+            jobs=args.jobs,
+        )
+        print(traced.render())
+        if not traced.identical:
+            return 1
+        if traced.digest != report.digest:
+            print(
+                "  TELEMETRY PERTURBED THE RUN — digest changed when "
+                "telemetry was enabled"
+            )
+            return 1
+        print("  telemetry on/off digests MATCH — instrumentation is inert")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .telemetry import PhaseProfiler, validate_chrome_trace
+
+    scenario = _make_scenario(args)
+    config = variant(args.variant, mrai=args.mrai)
+    if args.event in ("treset", "tcrash", "tflap") and not config.sessions_enabled:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            hold_time=9.0,
+            keepalive_interval=3.0,
+            connect_retry=0.5,
+            connect_retry_cap=4.0,
+        )
+    settings = RunSettings(packet_rate=args.rate, telemetry=True, timeline=True)
+    print(
+        f"tracing {scenario.name} / {config.variant_name} / MRAI {args.mrai}s "
+        f"/ seed {args.seed}"
+    )
+    profiler = PhaseProfiler()
+    with profiler.phase("simulate"):
+        run = run_experiment(scenario, config, settings=settings, seed=args.seed)
+    assert run.metrics is not None and run.timeline is not None
+    print()
+    print("telemetry:")
+    print(run.metrics.render())
+    print()
+    print(
+        f"timeline : {len(run.timeline)} records across categories "
+        f"{', '.join(run.timeline.categories())}"
+    )
+    with profiler.phase("export"):
+        if args.chrome_trace:
+            events = validate_chrome_trace(run.timeline.to_chrome_trace())
+            run.timeline.write_chrome_trace(args.chrome_trace)
+            print(
+                f"wrote {args.chrome_trace} ({events} trace events, "
+                f"schema-validated; load in Perfetto or chrome://tracing)"
+            )
+        if args.jsonl:
+            run.timeline.write_jsonl(args.jsonl)
+            print(f"wrote {args.jsonl} ({len(run.timeline)} JSONL records)")
+    print()
+    print("harness wall-clock:")
+    print(profiler.render())
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -438,6 +584,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "lint": _cmd_lint,
         "determinism": _cmd_determinism,
+        "metrics": _cmd_metrics,
     }
     try:
         return handlers[args.command](args)

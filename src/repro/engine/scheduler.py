@@ -55,6 +55,10 @@ class Scheduler:
         # Optional invariant-hook object (see repro.analysis.sanitizers);
         # duck-typed so the engine never imports the analysis layer.
         self.invariants: Optional[Any] = None
+        # Optional telemetry probe (see repro.telemetry.probe), same
+        # duck-typed pattern: None means disabled and costs one attribute
+        # read per hook site.
+        self.telemetry: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -121,6 +125,17 @@ class Scheduler:
         """
         self.invariants = hooks
 
+    def install_telemetry(self, probe: Optional[Any]) -> None:
+        """Install (or, with ``None``, remove) a telemetry probe.
+
+        The probe receives ``on_event_scheduled`` and ``on_event_fired``
+        calls from this scheduler; other layers holding this scheduler
+        (channels, speakers) dispatch their own hook points through
+        :attr:`telemetry`.  See
+        :class:`repro.telemetry.probe.TelemetryProbe`.
+        """
+        self.telemetry = probe
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -142,6 +157,8 @@ class Scheduler:
         """
         if self.invariants is not None:
             self.invariants.on_schedule(self._now, time, name, housekeeping)
+        if self.telemetry is not None:
+            self.telemetry.on_event_scheduled(self._now, time, name, housekeeping)
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule event {name or action!r} at t={time}; "
@@ -198,6 +215,10 @@ class Scheduler:
                 )
             if self.invariants is not None:
                 self.invariants.on_event_fired(self._now, event.time, event.name)
+            if self.telemetry is not None:
+                self.telemetry.on_event_fired(
+                    event.time, event.name, len(self._heap)
+                )
             self._now = event.time
             self._events_processed += 1
             self._last_event_time = event.time

@@ -71,3 +71,7 @@ class ConfigError(ReproError):
 
 class AnalysisError(ReproError):
     """Loop/convergence analysis was asked something it cannot answer."""
+
+
+class TelemetryError(ReproError):
+    """The telemetry subsystem was misused (bad metric name, bad export)."""

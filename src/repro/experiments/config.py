@@ -37,6 +37,18 @@ class RunSettings:
         RIB coherence — see :mod:`repro.analysis.sanitizers`).  Off by
         default; flows through sweeps unchanged, so any scenario family
         can be swept sanitized.
+    telemetry:
+        Install a :class:`~repro.telemetry.probe.TelemetryProbe` for the
+        run and attach its :class:`~repro.telemetry.registry.
+        MetricsSnapshot` to the returned
+        :class:`~repro.experiments.runner.ExperimentRun`.  Purely
+        observational: determinism digests are identical on or off.
+    timeline:
+        Additionally record a simulation-time
+        :class:`~repro.telemetry.timeline.Timeline` (instants and spans,
+        exportable as JSONL or Chrome trace JSON).  Implies ``telemetry``
+        behavior for the probe; off by default because traced runs hold
+        every FIB-change/MRAI instant in memory.
     """
 
     packet_rate: float = DEFAULT_PACKET_RATE
@@ -45,6 +57,8 @@ class RunSettings:
     event_budget: int = 5_000_000
     horizon: float = 50_000.0
     sanitize: bool = False
+    telemetry: bool = False
+    timeline: bool = False
 
     def __post_init__(self) -> None:
         if self.packet_rate <= 0:

@@ -28,6 +28,14 @@ METRIC_KEYS = {
 }
 
 
+def aggregate_telemetry(points: Sequence[SweepPoint]):
+    """One sweep-wide :class:`~repro.telemetry.registry.MetricsSnapshot`
+    combining every point's per-trial snapshots."""
+    from ...telemetry import MetricsSnapshot
+
+    return MetricsSnapshot.aggregate([point.telemetry() for point in points])
+
+
 def metric_sweep_figure(
     figure_id: str,
     title: str,
@@ -66,6 +74,7 @@ def metric_sweep_figure(
         x_label=x_label,
         xs=xs_of(points),
         series={name: series(points, METRIC_KEYS[name]) for name in metrics},
+        telemetry=aggregate_telemetry(points) if settings.telemetry else None,
     )
     return figure, points
 

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotation only)
     from ..analysis.determinism import RunFingerprint
+    from ..telemetry import MetricsSnapshot, Timeline
 
 from ..bgp import BgpConfig, BgpSpeaker, RoutingPolicy
 from ..core import LoopStudyResult, loop_timeline, measure_convergence
@@ -74,6 +75,15 @@ class ExperimentRun:
     fingerprint: Optional["RunFingerprint"] = None
     """SHA-256 reduction of the run (trace/FIB/summary), populated by
     ``sweep(..., digests=True)`` as the parallel-equivalence oracle."""
+    metrics: Optional["MetricsSnapshot"] = None
+    """Frozen telemetry counters/gauges/histograms when
+    ``settings.telemetry`` (or ``settings.timeline``) was set.  Plain
+    picklable data; deliberately *not* part of the fingerprint, so
+    digests stay bit-identical with telemetry on or off."""
+    timeline: Optional["Timeline"] = None
+    """Simulation-time instants and spans when ``settings.timeline`` was
+    set; export with ``timeline.write_chrome_trace(path)`` or
+    ``timeline.write_jsonl(path)``."""
 
     @property
     def converged(self) -> bool:
@@ -143,6 +153,14 @@ def run_experiment(
         from ..analysis.sanitizers import build_suite
 
         scheduler.install_invariants(build_suite())
+    probe = None
+    if settings.telemetry or settings.timeline:
+        from ..telemetry import TelemetryProbe, Timeline
+
+        probe = TelemetryProbe(
+            timeline=Timeline() if settings.timeline else None
+        )
+        scheduler.install_telemetry(probe)
     fib_log = FibChangeLog()
     route_log = RouteChangeLog()
     network = build_network(
@@ -244,6 +262,44 @@ def run_experiment(
         loop_intervals=intervals,
         total_messages=len(network.trace),
     )
+
+    # Telemetry enrichment: lift the post-run analyses (dataplane packet
+    # fates, trace tallies, loop intervals) into the same registry/timeline
+    # as the live instrumentation, then freeze.  Observation only — nothing
+    # here can alter the simulation that already happened.
+    metrics = None
+    timeline = None
+    if probe is not None:
+        registry = probe.registry
+        registry.counter("dataplane.loops_entered").inc(len(intervals))
+        registry.counter("dataplane.loops_exited").inc(
+            sum(1 for iv in intervals if iv.end < window[1])
+        )
+        registry.counter("dataplane.ttl_exhaustions").inc(
+            dataplane.ttl_exhaustions
+        )
+        registry.counter("dataplane.packets_sent").inc(dataplane.packets_sent)
+        registry.counter("dataplane.packets_delivered").inc(dataplane.delivered)
+        registry.counter("dataplane.packets_dropped_no_route").inc(
+            dataplane.dropped_no_route
+        )
+        for kind, total in network.trace.kind_counts().items():
+            registry.counter(f"trace.messages.{kind}").inc(total)
+        timeline = probe.timeline
+        if timeline is not None:
+            timeline.span(0.0, warmup_time, "warm-up", "phase")
+            timeline.instant(failure_time, "failure", "phase")
+            timeline.span(failure_time, end_time, "post-failure", "phase")
+            for iv in intervals:
+                timeline.span(
+                    iv.start,
+                    iv.end,
+                    f"loop[{'-'.join(str(n) for n in iv.cycle)}]",
+                    "loop",
+                    size=iv.size,
+                )
+        metrics = probe.snapshot()
+
     return ExperimentRun(
         scenario=scenario,
         bgp_config=bgp_config,
@@ -256,4 +312,6 @@ def run_experiment(
         fib_log=fib_log,
         route_log=route_log,
         network=network if keep_network else None,
+        metrics=metrics,
+        timeline=timeline,
     )

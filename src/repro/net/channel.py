@@ -102,6 +102,9 @@ class Channel:
             hooks.on_channel_send(
                 self.src, self.dst, generation, sequence, self._scheduler.now
             )
+        telemetry = self._scheduler.telemetry
+        if telemetry is not None:
+            telemetry.on_message_sent(self.src, self.dst, message, self.in_flight)
 
         def arrive() -> None:
             self._messages_delivered += 1
@@ -110,6 +113,9 @@ class Channel:
                 hooks.on_channel_deliver(
                     self.src, self.dst, generation, sequence, self._scheduler.now
                 )
+            telemetry = self._scheduler.telemetry
+            if telemetry is not None:
+                telemetry.on_message_delivered(self.src, self.dst, message)
             self._deliver(self.src, message)
 
         event = self._scheduler.call_at(
@@ -147,6 +153,9 @@ class Channel:
         hooks = self._scheduler.invariants
         if hooks is not None:
             hooks.on_channel_flush(self.src, self.dst, self._generation)
+        telemetry = self._scheduler.telemetry
+        if telemetry is not None and destroyed:
+            telemetry.on_in_flight_dropped(self.src, self.dst, destroyed)
         self._generation += 1
         self._generation_seq = 0
         return destroyed

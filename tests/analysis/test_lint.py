@@ -82,6 +82,32 @@ class TestWallClockRule:
         )
         assert violations == []
 
+    def test_telemetry_profiler_is_exempt(self):
+        """The harness-side wall-clock boundary: exactly one module."""
+        code = """
+            import time
+
+            def wall_time():
+                return time.perf_counter()
+            """
+        assert lint(code, "src/repro/telemetry/profiler.py") == []
+
+    def test_wall_clock_still_trips_elsewhere_in_telemetry(self):
+        """The exemption must not leak to the simulator-side modules."""
+        code = """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """
+        for path in (
+            "src/repro/telemetry/registry.py",
+            "src/repro/telemetry/timeline.py",
+            "src/repro/telemetry/probe.py",
+            "src/repro/engine/scheduler.py",
+        ):
+            assert rules_of(lint(code, path)) == ["wall-clock"], path
+
 
 class TestUnseededRandomRule:
     def test_module_level_draw_flagged(self):

@@ -24,6 +24,7 @@ from repro.experiments import (
 
 FAST = BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05))
 SETTINGS = RunSettings(failure_guard=0.5)
+TRACED = RunSettings(failure_guard=0.5, telemetry=True)
 #: Kills the 6-clique's warm-up while the 3-clique sails through
 #: (calibrated: the 6-clique needs > 200 events, the 3-clique far fewer).
 TIGHT = RunSettings(failure_guard=0.5, event_budget=200)
@@ -99,6 +100,67 @@ class TestGoldenEquivalence:
         sequential, parallel = tdown_pair
         assert all(r.network is None for p in sequential for r in p.runs)
         assert all(r.network is None for p in parallel for r in p.runs)
+
+
+class TestTelemetryEquivalence:
+    """Telemetry snapshots ride home from workers without touching digests."""
+
+    @pytest.fixture(scope="class")
+    def traced_pair(self):
+        kwargs = dict(seeds=(0, 1), settings=TRACED, digests=True)
+        sequential = sweep([3, 4], clique_tdown_trial, MAKE_CONFIG, **kwargs)
+        parallel = sweep(
+            [3, 4], clique_tdown_trial, MAKE_CONFIG, jobs=JOBS, **kwargs
+        )
+        return sequential, parallel
+
+    @pytest.fixture(scope="class")
+    def plain(self):
+        return sweep(
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0, 1),
+            settings=SETTINGS,
+            digests=True,
+        )
+
+    def test_telemetry_on_off_digests_identical(self, traced_pair, plain):
+        """The probe only observes: fingerprints are bit-identical either way."""
+        sequential, _ = traced_pair
+        assert digests(sequential) == digests(plain)
+
+    def test_traced_parallel_digests_match_sequential(self, traced_pair):
+        sequential, parallel = traced_pair
+        assert digests(sequential) == digests(parallel)
+        assert len(digests(sequential)) == 4
+
+    def test_snapshots_pickle_across_workers(self, traced_pair):
+        _, parallel = traced_pair
+        for point in parallel:
+            for run in point.runs:
+                assert run.metrics is not None
+                assert run.metrics.counter("engine.events_executed") > 0
+                assert run.metrics.counter("bgp.decision_runs") > 0
+
+    def test_worker_snapshots_equal_sequential(self, traced_pair):
+        sequential, parallel = traced_pair
+        seq_runs = [run for point in sequential for run in point.runs]
+        par_runs = [run for point in parallel for run in point.runs]
+        assert [r.metrics for r in seq_runs] == [r.metrics for r in par_runs]
+
+    def test_point_aggregation(self, traced_pair):
+        _, parallel = traced_pair
+        point = parallel[0]
+        aggregate = point.telemetry()
+        per_run = sum(
+            run.metrics.counter("engine.events_executed") for run in point.runs
+        )
+        assert aggregate.counter("engine.events_executed") == per_run
+
+    def test_plain_runs_carry_no_snapshots(self, plain):
+        assert all(run.metrics is None for p in plain for run in p.runs)
+        assert all(run.timeline is None for p in plain for run in p.runs)
 
 
 class TestFailureEquivalence:

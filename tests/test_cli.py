@@ -211,6 +211,54 @@ class TestDeterminismCommand:
         assert "IDENTICAL" in capsys.readouterr().out
 
 
+class TestMetricsCommand:
+    def test_traced_run_prints_telemetry_table(self, capsys):
+        code = main(["metrics", "--size", "4", "--mrai", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry:" in out
+        assert "engine.events_executed" in out
+        assert "net.messages_sent.Announcement" in out
+        assert "timeline :" in out
+        assert "harness wall-clock:" in out
+        assert "simulate" in out
+
+    def test_exports_validate_and_land_on_disk(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "timeline.jsonl"
+        code = main(
+            ["metrics", "--size", "4", "--mrai", "1",
+             "--chrome-trace", str(trace_path), "--jsonl", str(jsonl_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "schema-validated" in out
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) > 0
+        for line in jsonl_path.read_text().splitlines():
+            assert "time" in json.loads(line)
+
+    def test_figure_metrics_flag_prints_aggregate(self, capsys):
+        code = main(["figure", "fig4a", "--quick", "--metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aggregated telemetry (all trials):" in out
+        assert "engine.events_executed" in out
+
+    def test_determinism_metrics_flag_proves_inertness(self, capsys):
+        code = main(
+            ["determinism", "--size", "3", "--mrai", "1", "--metrics"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IDENTICAL" in out
+        assert "telemetry on/off digests MATCH" in out
+
+
 class TestJobsFlag:
     def test_quick_figure_with_jobs(self, capsys):
         code = main(["figure", "fig4a", "--quick", "--jobs", "2"])
