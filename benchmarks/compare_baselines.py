@@ -1,0 +1,114 @@
+"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+
+The CI ``bench-regression`` job runs ``bench_hotpath.py`` (median of 3) and
+then::
+
+    python benchmarks/compare_baselines.py \
+        benchmarks/baselines/BENCH_hotpath.json BENCH_hotpath.json
+
+Exit status 1 — failing the job — when any scenario's median wall-clock
+regressed more than ``--tolerance`` (default 25%) over the baseline, or
+when a baseline scenario is missing from the candidate.  Speedups and
+small fluctuations pass; CI runners are shared hardware, so the tolerance
+is deliberately generous and the benchmark reports medians.
+
+Updates/sec and update counts are printed for context but not gated: the
+update count is digest-checked behavior (it cannot drift without the
+determinism job failing first), and updates/sec is just its ratio with the
+gated wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+
+def load(path: Path) -> Dict:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"error: {path} does not exist")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    if not isinstance(document.get("results"), dict):
+        raise SystemExit(f"error: {path} has no 'results' mapping")
+    return document
+
+
+def compare(
+    baseline: Dict, candidate: Dict, tolerance: float
+) -> int:
+    """Print a per-scenario table; return the number of regressions."""
+    regressions = 0
+    header = (
+        f"{'scenario':<12} {'baseline':>12} {'candidate':>12} "
+        f"{'ratio':>8}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in sorted(baseline["results"]):
+        base = baseline["results"][name]
+        cand = candidate["results"].get(name)
+        if cand is None:
+            print(f"{name:<12} {'—':>12} {'—':>12} {'—':>8}  MISSING")
+            regressions += 1
+            continue
+        base_wall = float(base["wall_clock_s"])
+        cand_wall = float(cand["wall_clock_s"])
+        ratio = cand_wall / base_wall if base_wall > 0 else float("inf")
+        regressed = ratio > 1.0 + tolerance
+        verdict = f"REGRESSED (> +{tolerance:.0%})" if regressed else "ok"
+        print(
+            f"{name:<12} {base_wall * 1e3:>10.1f}ms {cand_wall * 1e3:>10.1f}ms "
+            f"{ratio:>7.2f}x  {verdict}"
+        )
+        print(
+            f"{'':<12} {base.get('updates_per_s', '?'):>10} u/s "
+            f"{cand.get('updates_per_s', '?'):>10} u/s"
+        )
+        if regressed:
+            regressions += 1
+    return regressions
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate a benchmark run against a committed baseline."
+    )
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("candidate", type=Path, help="freshly-measured JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRACTION",
+        help="allowed wall-clock growth before failing (default 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    if baseline.get("schema") != candidate.get("schema"):
+        print(
+            f"warning: schema mismatch "
+            f"(baseline {baseline.get('schema')}, "
+            f"candidate {candidate.get('schema')})",
+            file=sys.stderr,
+        )
+
+    regressions = compare(baseline, candidate, args.tolerance)
+    if regressions:
+        print(
+            f"\n{regressions} scenario(s) regressed beyond "
+            f"+{args.tolerance:.0%}; if intentional, refresh "
+            f"benchmarks/baselines/BENCH_hotpath.json (see README).",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nall scenarios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

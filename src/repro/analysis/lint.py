@@ -34,6 +34,12 @@ Rules (each violation carries the rule's short name):
     (operands named ``now``, ``time``, ``*_time``...).  Exact float
     equality on computed times is almost always a latent bug; compare
     with an ordering or an explicit tolerance.
+``uninterned-aspath`` (REP106)
+    No direct ``AsPath(...)`` construction outside :mod:`repro.bgp.path`.
+    Un-interned paths silently disable the identity-equality fast path
+    and duplicate the per-path hash/frozenset work; obtain paths through
+    ``AsPath.of()`` / ``intern_path()`` or the path algebra methods,
+    which always return canonical instances.
 
 A line may opt out with a justification comment::
 
@@ -69,6 +75,11 @@ RULES: Dict[str, Tuple[str, str]] = {
     "float-time-eq": (
         "REP105", "== / != between floating-point simulation timestamps"
     ),
+    "uninterned-aspath": (
+        "REP106",
+        "direct AsPath(...) construction bypasses the intern table; use "
+        "AsPath.of() / intern_path()",
+    ),
 }
 
 #: Per-rule path suffixes that are exempt (the one sanctioned home of the
@@ -84,6 +95,9 @@ RULES: Dict[str, Tuple[str, str]] = {
 RULE_EXEMPT_SUFFIXES: Dict[str, Tuple[str, ...]] = {
     "unseeded-random": ("engine/rng.py",),
     "wall-clock": ("telemetry/profiler.py",),
+    # path.py is the intern table's home: its factories construct the
+    # canonical instances everyone else must obtain via AsPath.of().
+    "uninterned-aspath": ("bgp/path.py",),
 }
 
 _WALL_CLOCK_CALLS = frozenset({
@@ -312,6 +326,20 @@ class _Linter(ast.NodeVisitor):
                 node,
                 f"{node.func.id}() over a set materializes nondeterministic "
                 f"order; use sorted()",
+            )
+        # The *called object itself* must be AsPath — `AsPath(...)` or
+        # `path.AsPath(...)`; classmethod factories (`AsPath.of(...)`,
+        # `AsPath.empty()`) resolve to "AsPath.of" etc. and pass.
+        if (
+            isinstance(node.func, ast.Name) and node.func.id == "AsPath"
+        ) or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "AsPath"
+        ):
+            self.report(
+                "uninterned-aspath",
+                node,
+                "AsPath(...) constructs an un-interned path; use AsPath.of() "
+                "or intern_path() so equality stays an identity check",
             )
         self.generic_visit(node)
 

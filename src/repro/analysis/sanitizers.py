@@ -198,10 +198,21 @@ class RibCoherenceSanitizer(InvariantHooks):
     def __init__(self) -> None:
         self.decisions_checked = 0
         self.updates_checked = 0
+        self.rankings_checked = 0
 
     def on_decision(self, speaker: Any, prefix: str) -> None:
         self.decisions_checked += 1
-        expected = speaker._select_best(prefix)
+        # Ground truth is the naive full scan; it both validates the
+        # Loc-RIB and proves the incremental ranking picks the same
+        # winner the scan would.
+        expected = speaker._select_best_naive(prefix)
+        self.rankings_checked += 1
+        cached = speaker._select_best(prefix)
+        if cached != expected:
+            raise SanitizerError(
+                f"rib: node {speaker.node_id} ranked selection for {prefix!r} "
+                f"is {cached!r} but the naive scan selects {expected!r}"
+            )
         actual = speaker.loc_rib.get(prefix)
         if expected != actual:
             raise SanitizerError(
@@ -251,7 +262,8 @@ class RibCoherenceSanitizer(InvariantHooks):
     def describe(self) -> List[str]:
         return [
             f"rib: {self.decisions_checked} decisions, "
-            f"{self.updates_checked} updates checked"
+            f"{self.updates_checked} updates, "
+            f"{self.rankings_checked} ranked-vs-naive selections checked"
         ]
 
 

@@ -11,7 +11,7 @@ from .decision import DecisionProcess
 from .messages import Announcement, Keepalive, Open, Prefix, Withdrawal, is_update
 from .session import SessionManager
 from .mrai import DEFAULT_JITTER, DEFAULT_MRAI, MraiManager
-from .path import AsPath
+from .path import AsPath, intern_path
 from .policy import (
     NoTransitForPrefix,
     PreferNeighbor,

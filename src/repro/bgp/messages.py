@@ -21,7 +21,7 @@ Prefix = str
 """Type alias for destination identifiers."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Announcement:
     """An UPDATE advertising ``path`` as the sender's route to ``prefix``.
 
@@ -45,7 +45,7 @@ class Announcement:
         return f"Announce[{self.prefix} via {self.path!r}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Withdrawal:
     """An UPDATE withdrawing the sender's previously-announced route."""
 
@@ -55,7 +55,7 @@ class Withdrawal:
         return f"Withdraw[{self.prefix}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Keepalive:
     """A KEEPALIVE: refreshes the receiver's hold timer, carries no routes.
 
@@ -73,7 +73,7 @@ class Keepalive:
         return "Keepalive"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Open:
     """An OPEN: (re-)establishes the session with the receiving peer.
 

@@ -13,11 +13,36 @@ Conventions (matching the paper's notation):
 * A node *stores* the path exactly as received and *prepends itself* when
   re-advertising, so a route's advertised form is ``path.prepend(self_id)``.
 * The empty path is valid: it is the path of a locally-originated route.
+
+Interning
+---------
+
+Paths are the hottest value type in the simulator: every announcement,
+poison-reverse check, and Adj-RIB-Out duplicate test walks them.  This
+module therefore maintains a process-global **intern table**: one canonical
+:class:`AsPath` instance per distinct AS sequence.  All simulator code must
+obtain paths through the interning constructors —
+
+* :func:`intern_path` / :meth:`AsPath.of` — the canonical factory,
+* the algebra methods (:meth:`AsPath.prepend`, :meth:`AsPath.concat`,
+  :meth:`AsPath.suffix_from`, :meth:`AsPath.empty`), which always return
+  interned instances,
+
+— never ``AsPath(...)`` directly (the determinism linter's REP106 rule
+enforces this outside this module).  Interning buys three things on the
+hot path: construction of a previously-seen path is a single dict hit,
+equality between interned paths short-circuits on identity, and every
+path carries a precomputed hash plus a frozenset shadow of its members
+for O(1) containment (the loop-detection test).
+
+Pickle support re-interns on load (:meth:`AsPath.__reduce__`), so paths
+that cross a process boundary — parallel sweep workers — land in the
+worker's own intern table and keep the identity fast path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from ..errors import ProtocolError
 
@@ -29,17 +54,25 @@ class AsPath:
     prepend (advertisement), containment (loop detection), concatenation
     (the "·" operator of §3.2), suffix extraction (the Assertion check),
     and value equality/hashing (RIB bookkeeping).
+
+    Direct construction validates but does **not** intern; simulator code
+    uses :func:`intern_path` / :meth:`AsPath.of` (see the module docstring).
+    Equality and hashing are value-based either way, so an un-interned
+    instance (tests, ad-hoc analysis) compares equal to its canonical twin.
     """
 
-    __slots__ = ("_ases",)
+    __slots__ = ("_ases", "_members", "_hash")
 
     def __init__(self, ases: Iterable[int] = ()) -> None:
         path = tuple(int(a) for a in ases)
         if any(a < 0 for a in path):
             raise ProtocolError(f"AS numbers must be non-negative: {path}")
-        if len(set(path)) != len(path):
+        members = frozenset(path)
+        if len(members) != len(path):
             raise ProtocolError(f"AS path may not contain duplicates: {path}")
         self._ases = path
+        self._members = members
+        self._hash = hash(path)
 
     # ------------------------------------------------------------------
     # Basic sequence behavior
@@ -57,22 +90,29 @@ class AsPath:
         return iter(self._ases)
 
     def __contains__(self, asn: int) -> bool:
-        return asn in self._ases
+        return asn in self._members
 
     def __getitem__(self, index):
         return self._ases[index]
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, AsPath):
             return self._ases == other._ases
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._ases)
+        return self._hash
 
     def __repr__(self) -> str:
         body = " ".join(str(a) for a in self._ases)
         return f"({body})"
+
+    def __reduce__(self):
+        # Unpickling goes through the interning factory so paths shipped to
+        # (or back from) sweep workers re-intern in the receiving process.
+        return (intern_path, (self._ases,))
 
     # ------------------------------------------------------------------
     # Path-vector operations
@@ -99,9 +139,9 @@ class AsPath:
         Raises :class:`ProtocolError` if ``asn`` already appears — a speaker
         advertising a path through itself is a protocol bug.
         """
-        if asn in self._ases:
+        if asn in self._members:
             raise ProtocolError(f"AS {asn} already in path {self!r}")
-        return AsPath((asn,) + self._ases)
+        return _intern_valid((asn,) + self._ases)
 
     def concat(self, other: "AsPath") -> "AsPath":
         """The paper's "·" operator: this path followed by ``other``.
@@ -109,12 +149,11 @@ class AsPath:
         Used by the analytical model of §3.2, e.g.
         ``(c_1 .. c_k) · path(c_k, old)``.
         """
-        return AsPath(self._ases + other._ases)
+        return intern_path(self._ases + other._ases)
 
     def contains_any(self, ases: Iterable[int]) -> bool:
         """True if any AS from ``ases`` appears in this path."""
-        mine = set(self._ases)
-        return any(a in mine for a in ases)
+        return not self._members.isdisjoint(ases)
 
     def suffix_from(self, asn: int) -> Optional["AsPath"]:
         """The sub-path starting at ``asn`` (inclusive), or ``None``.
@@ -127,7 +166,7 @@ class AsPath:
             index = self._ases.index(asn)
         except ValueError:
             return None
-        return AsPath(self._ases[index:])
+        return _intern_valid(self._ases[index:])
 
     def next_after(self, asn: int) -> Optional[int]:
         """The AS that follows ``asn`` on the way to the origin, if any."""
@@ -140,9 +179,54 @@ class AsPath:
         return self._ases[index + 1]
 
     @classmethod
+    def of(cls, ases: Iterable[int] = ()) -> "AsPath":
+        """The canonical (interned) instance for ``ases``.
+
+        This is the constructor simulator code should use; see
+        :func:`intern_path`.
+        """
+        return intern_path(ases)
+
+    @classmethod
     def empty(cls) -> "AsPath":
         """The path of a locally-originated route."""
         return _EMPTY
 
 
-_EMPTY = AsPath(())
+#: The process-global intern table: AS tuple -> canonical instance.
+_INTERN_TABLE: Dict[Tuple[int, ...], AsPath] = {}
+
+
+def intern_path(ases: Iterable[int] = ()) -> AsPath:
+    """The canonical :class:`AsPath` for ``ases``, validating on first sight.
+
+    Repeated requests for the same sequence return the *same* object, which
+    is what makes path equality an identity check on the hot path.  Also the
+    pickle re-entry point (see :meth:`AsPath.__reduce__`).
+    """
+    key = ases if type(ases) is tuple else tuple(int(a) for a in ases)
+    cached = _INTERN_TABLE.get(key)
+    if cached is not None:
+        return cached
+    path = AsPath(key)  # validates; normalizes any non-int tuple entries
+    return _INTERN_TABLE.setdefault(path._ases, path)
+
+
+def _intern_valid(key: Tuple[int, ...]) -> AsPath:
+    """Intern a tuple already known valid (built from an interned path)."""
+    cached = _INTERN_TABLE.get(key)
+    if cached is not None:
+        return cached
+    path = AsPath.__new__(AsPath)
+    path._ases = key
+    path._members = frozenset(key)
+    path._hash = hash(key)
+    return _INTERN_TABLE.setdefault(key, path)
+
+
+def intern_table_size() -> int:
+    """Number of distinct paths currently interned (diagnostics/tests)."""
+    return len(_INTERN_TABLE)
+
+
+_EMPTY = intern_path(())

@@ -13,23 +13,56 @@
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .messages import Prefix
 from .path import AsPath
 from .route import Route
 
+PreferenceKey = Callable[[Route], object]
+"""A total-order key over routes; smaller wins (see
+:meth:`repro.bgp.policy.RoutingPolicy.preference_key`)."""
+
 
 class AdjRibIn:
-    """Routes received from neighbors, keyed ``(neighbor, prefix)``."""
+    """Routes received from neighbors, keyed ``(neighbor, prefix)``.
 
-    def __init__(self) -> None:
+    When constructed with a ``preference_key`` the RIB additionally keeps an
+    **incremental ranking** per prefix: a list of ``(key, neighbor, route)``
+    entries held sorted across mutations, so the decision process reads its
+    winner off the front instead of re-scanning and re-keying every
+    candidate on every UPDATE.  Only the changed peer's entry is re-ranked
+    (one removal plus one bisect insertion).  The ranking's tie-break is the
+    neighbor id, ascending — exactly the order :meth:`candidates` yields —
+    so the cached winner is always the route the naive full scan would pick
+    (:meth:`repro.bgp.decision.DecisionProcess.select_naive` cross-checks
+    this under ``--sanitize``).
+    """
+
+    def __init__(self, preference_key: Optional[PreferenceKey] = None) -> None:
         self._routes: Dict[int, Dict[Prefix, Route]] = {}
+        self._key = preference_key
+        # prefix -> sorted [(key, neighbor, route), ...]; maintained only
+        # when a preference key was supplied.
+        self._ranked: Dict[Prefix, List[Tuple[object, int, Route]]] = {}
+
+    @property
+    def ranked(self) -> bool:
+        """True when the incremental per-prefix ranking is maintained."""
+        return self._key is not None
 
     def put(self, neighbor: int, route: Route) -> None:
         """Store/replace the route from ``neighbor`` for ``route.prefix``."""
-        self._routes.setdefault(neighbor, {})[route.prefix] = route
+        by_prefix = self._routes.setdefault(neighbor, {})
+        old = by_prefix.get(route.prefix)
+        by_prefix[route.prefix] = route
+        if self._key is not None:
+            entries = self._ranked.setdefault(route.prefix, [])
+            if old is not None:
+                entries.remove((self._key(old), neighbor, old))
+            insort(entries, (self._key(route), neighbor, route))
 
     def get(self, neighbor: int, prefix: Prefix) -> Optional[Route]:
         return self._routes.get(neighbor, {}).get(prefix)
@@ -39,7 +72,36 @@ class AdjRibIn:
         by_prefix = self._routes.get(neighbor)
         if not by_prefix:
             return None
-        return by_prefix.pop(prefix, None)
+        route = by_prefix.pop(prefix, None)
+        if route is not None and self._key is not None:
+            self._unrank(neighbor, prefix, route)
+        return route
+
+    def _unrank(self, neighbor: int, prefix: Prefix, route: Route) -> None:
+        entries = self._ranked[prefix]
+        entries.remove((self._key(route), neighbor, route))
+        if not entries:
+            del self._ranked[prefix]
+
+    def best(
+        self,
+        prefix: Prefix,
+        usable: Optional[Callable[[Route], bool]] = None,
+    ) -> Optional[Route]:
+        """The highest-ranked (usable) route for ``prefix``, or ``None``.
+
+        Only available on a ranked RIB; O(1) without a ``usable`` filter,
+        O(suppressed prefix-candidates) with one.
+        """
+        entries = self._ranked.get(prefix)
+        if not entries:
+            return None
+        if usable is None:
+            return entries[0][2]
+        for _key, _neighbor, route in entries:
+            if usable(route):
+                return route
+        return None
 
     def drop_neighbor(self, neighbor: int) -> List[Prefix]:
         """Forget everything from ``neighbor`` (session down).
@@ -48,6 +110,9 @@ class AdjRibIn:
         the decision process for exactly those.
         """
         by_prefix = self._routes.pop(neighbor, {})
+        if self._key is not None:
+            for prefix in by_prefix:
+                self._unrank(neighbor, prefix, by_prefix[prefix])
         return sorted(by_prefix)
 
     def candidates(self, prefix: Prefix) -> List[Route]:
@@ -98,7 +163,7 @@ class LocRib:
         return prefix in self._best
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SentState:
     """What a speaker last told one neighbor about one prefix.
 

@@ -15,7 +15,7 @@ DEFAULT_LOCAL_PREF = 100
 """BGP's customary default LOCAL_PREF."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """One candidate route to ``prefix``.
 

@@ -100,7 +100,7 @@ class BgpSpeaker(Node):
         self.config = config
         self.policy = policy or ShortestPathPolicy()
         self.decision = DecisionProcess(self.policy)
-        self.adj_rib_in = AdjRibIn()
+        self.adj_rib_in = AdjRibIn(preference_key=self.policy.preference_key)
         self.loc_rib = LocRib()
         self.adj_rib_out = AdjRibOut()
         self.mrai = MraiManager(
@@ -260,9 +260,11 @@ class BgpSpeaker(Node):
                 next_hop=src,
                 learned_at=self.scheduler.now,
             )
-            route = replace(
-                provisional, local_pref=self.policy.local_pref(src, provisional)
-            )
+            local_pref = self.policy.local_pref(src, provisional)
+            if local_pref == provisional.local_pref:
+                route = provisional  # default pref: skip the replace() copy
+            else:
+                route = replace(provisional, local_pref=local_pref)
             if self.policy.accept_import(src, route):
                 self.adj_rib_in.put(src, route)
             else:
@@ -422,7 +424,7 @@ class BgpSpeaker(Node):
         if self.damper is not None:
             for neighbor in sorted(self.network.topology.neighbors(self.node_id)):
                 self.damper.cancel_peer(neighbor)
-        self.adj_rib_in = AdjRibIn()
+        self.adj_rib_in = AdjRibIn(preference_key=self.policy.preference_key)
         self.loc_rib = LocRib()
         self.adj_rib_out = AdjRibOut()
         super().crash()
@@ -442,21 +444,38 @@ class BgpSpeaker(Node):
     # Decision + dissemination
     # ------------------------------------------------------------------
 
+    def _usable_predicate(self, prefix: Prefix):
+        if self.damper is None:
+            return None
+        damper = self.damper
+
+        def usable(route: Route) -> bool:
+            assert route.next_hop is not None
+            return not damper.is_suppressed(route.next_hop, prefix)
+
+        return usable
+
     def _select_best(self, prefix: Prefix) -> Optional[Route]:
         """The decision-process optimum, honoring damping suppression."""
-        usable = None
-        if self.damper is not None:
-            damper = self.damper
-
-            def usable(route: Route) -> bool:
-                assert route.next_hop is not None
-                return not damper.is_suppressed(route.next_hop, prefix)
-
         return self.decision.select(
             prefix,
             self.adj_rib_in,
             originated=prefix in self._origins,
-            usable=usable,
+            usable=self._usable_predicate(prefix),
+        )
+
+    def _select_best_naive(self, prefix: Prefix) -> Optional[Route]:
+        """Ground-truth selection via the full candidate scan.
+
+        Bypasses the Adj-RIB-In's incremental ranking so sanitizers and
+        invariant checks validate the cached winner against an independent
+        derivation.
+        """
+        return self.decision.select_naive(
+            prefix,
+            self.adj_rib_in,
+            originated=prefix in self._origins,
+            usable=self._usable_predicate(prefix),
         )
 
     def _damping_reuse(self, peer: int, prefix: Prefix) -> None:
@@ -643,12 +662,20 @@ class BgpSpeaker(Node):
         for _neighbor, route in self.adj_rib_in.entries():
             prefixes.add(route.prefix)
         for prefix in sorted(prefixes):
-            expected = self._select_best(prefix)
+            # The naive scan is the ground truth here, keeping this check
+            # independent of the incremental ranking it helps validate.
+            expected = self._select_best_naive(prefix)
             actual = self.loc_rib.get(prefix)
             if expected != actual:
                 raise ProtocolError(
                     f"node {self.node_id} loc-rib for {prefix!r} is {actual!r}, "
                     f"decision process says {expected!r}"
+                )
+            cached = self._select_best(prefix)
+            if cached != expected:
+                raise ProtocolError(
+                    f"node {self.node_id} ranked selection for {prefix!r} is "
+                    f"{cached!r}, naive scan says {expected!r}"
                 )
             fib_hop = self.fib.get(prefix)
             if expected is None and fib_hop is not None:

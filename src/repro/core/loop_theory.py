@@ -72,7 +72,7 @@ def resolution_schedule(m: int, k: int, mrai: float) -> List[PropagationStep]:
     """
     if not 2 <= k <= m:
         raise AnalysisError(f"k must satisfy 2 <= k <= m, got k={k}, m={m}")
-    path_c1_new = AsPath(range(1, k + 1))  # (c_1 c_2 ... c_k) · path(c_k, old)
+    path_c1_new = AsPath.of(range(1, k + 1))  # (c_1 ... c_k) · path(c_k, old)
     steps: List[PropagationStep] = []
     elapsed = 0.0
     # c_1's announcement to c_m — one (possibly MRAI-delayed) message.
@@ -108,7 +108,7 @@ def loop_formation_example() -> Tuple[AsPath, AsPath, AsPath]:
     backup): nodes 5 and 6 simultaneously fail over to each other, forming
     the 2-node loop of Figure 1(b).
     """
-    before = AsPath((4, 0))
-    node5_backup = AsPath((5, 6, 4, 0))
-    node6_backup = AsPath((6, 5, 4, 0))
+    before = AsPath.of((4, 0))
+    node5_backup = AsPath.of((5, 6, 4, 0))
+    node6_backup = AsPath.of((6, 5, 4, 0))
     return before, node5_backup, node6_backup

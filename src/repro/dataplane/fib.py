@@ -23,7 +23,7 @@ from ..errors import AnalysisError
 Prefix = str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FibChange:
     """One next-hop change at one node."""
 

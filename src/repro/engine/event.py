@@ -102,8 +102,10 @@ class Event:
         if self._cancelled or self._fired:
             return
         self._cancelled = True
-        if not self.housekeeping and self._counter is not None:
-            self._counter._adjust_substantive(-1)
+        if self._counter is not None:
+            if not self.housekeeping:
+                self._counter._adjust_substantive(-1)
+            self._counter._note_cancelled()
 
     def mark_substantive(self) -> None:
         """Upgrade a pending housekeeping event to substantive.

@@ -26,10 +26,19 @@ from __future__ import annotations
 
 import heapq
 from collections import Counter
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import SchedulingError
 from .event import Event, EventPriority
+
+#: Heap entries are ``(time, priority, seq, event)`` tuples rather than bare
+#: events: ``seq`` is unique, so heap comparisons resolve on the first three
+#: (C-level) int/float fields and never fall through to the event object.
+HeapEntry = Tuple[float, int, int, Event]
+
+#: Compact the heap once at least this many cancelled entries have piled up
+#: *and* they make up at least half the heap (see ``_note_cancelled``).
+COMPACTION_MIN_CANCELLED = 64
 
 
 class Scheduler:
@@ -43,7 +52,8 @@ class Scheduler:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[HeapEntry] = []
+        self._cancelled_pending = 0
         self._now = 0.0
         self._seq = 0
         self._running = False
@@ -111,6 +121,25 @@ class Scheduler:
         """Internal: events report cancellation/upgrade to keep the count exact."""
         self._substantive += delta
 
+    def _note_cancelled(self) -> None:
+        """Internal: a pending event was cancelled; compact if mostly dead.
+
+        MRAI restart churn (cancel + re-arm per update sent) leaves lazily-
+        deleted entries in the heap; once they are both numerous and the
+        majority, rebuilding the heap without them is cheaper than sifting
+        every later push/pop past them.  Compaction cannot change pop order:
+        ``(time, priority, seq)`` is a strict total order, so the heapified
+        survivors pop exactly as they would have.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= COMPACTION_MIN_CANCELLED
+            and self._cancelled_pending * 2 >= len(self._heap)
+        ):
+            self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
+
     # ------------------------------------------------------------------
     # Invariant hooks
     # ------------------------------------------------------------------
@@ -176,7 +205,7 @@ class Scheduler:
         self._seq += 1
         if not housekeeping:
             self._substantive += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
         return event
 
     def call_after(
@@ -206,8 +235,9 @@ class Scheduler:
         Returns ``True`` if an event fired, ``False`` if the heap is empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             if event.time < self._now:
                 raise SchedulingError(
@@ -268,9 +298,10 @@ class Scheduler:
         quiet_origin = self._now
         try:
             while self._heap and not self._stopped:
-                nxt = self._heap[0]
+                nxt = self._heap[0][3]
                 if nxt.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_pending -= 1
                     continue
                 if self._substantive == 0:
                     if settle is None:
@@ -309,9 +340,10 @@ class Scheduler:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` when quiescent."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+            self._cancelled_pending -= 1
+        return self._heap[0][0] if self._heap else None
 
     def next_substantive_time(self) -> Optional[float]:
         """Time of the next pending substantive event, ``None`` if only
@@ -319,7 +351,9 @@ class Scheduler:
         if self._substantive == 0:
             return None
         times = [
-            e.time for e in self._heap if not e.cancelled and not e.housekeeping
+            e.time
+            for _, _, _, e in self._heap
+            if not e.cancelled and not e.housekeeping
         ]
         return min(times) if times else None
 
@@ -330,7 +364,7 @@ class Scheduler:
         ``mrai:<peer>:<prefix>`` timer counts under ``"mrai"``.
         """
         counts: Counter = Counter()
-        for event in self._heap:
+        for _, _, _, event in self._heap:
             if not event.cancelled:
                 counts[(event.name or "<anonymous>").split(":", 1)[0]] += 1
         return dict(counts)

@@ -368,6 +368,64 @@ class TestFloatTimeEqRule:
         assert violations == []
 
 
+class TestUninternedAsPathRule:
+    def test_direct_construction_flagged(self):
+        violations = lint(
+            """
+            from repro.bgp.path import AsPath
+
+            def build():
+                return AsPath((1, 2, 3))
+            """
+        )
+        assert rules_of(violations) == ["uninterned-aspath"]
+
+    def test_qualified_construction_flagged(self):
+        violations = lint(
+            """
+            from repro.bgp import path
+
+            def build():
+                return path.AsPath((1, 2, 3))
+            """
+        )
+        assert rules_of(violations) == ["uninterned-aspath"]
+
+    def test_interning_factories_allowed(self):
+        violations = lint(
+            """
+            from repro.bgp.path import AsPath, intern_path
+
+            def build():
+                return (
+                    AsPath.of((1, 2, 3)),
+                    AsPath.empty(),
+                    intern_path((4, 5)),
+                )
+            """
+        )
+        assert violations == []
+
+    def test_path_module_is_exempt(self):
+        violations = lint(
+            """
+            def intern_path(ases=()):
+                return AsPath(ases)
+            """,
+            path="src/repro/bgp/path.py",
+        )
+        assert violations == []
+
+    def test_allow_comment_suppresses(self):
+        violations = lint(
+            """
+            def uninterned_fixture():
+                return AsPath((1, 2))  # lint: allow(uninterned-aspath) -- twin
+            """
+        )
+        assert violations == []
+
+
 class TestSuppression:
     def test_allow_comment_suppresses_on_same_line(self):
         violations = lint(

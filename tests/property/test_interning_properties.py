@@ -1,0 +1,75 @@
+"""Property-based tests for the AsPath intern table.
+
+The hot-path speedup rests on three promises the intern table makes:
+interning is idempotent (same sequence -> same object), value semantics
+are indistinguishable from the un-interned tuple semantics, and pickling
+re-interns on load so paths crossing into sweep workers keep the identity
+fast path.  Each promise gets a property here.
+"""
+
+import pickle
+
+from hypothesis import given, strategies as st
+
+from repro.bgp import AsPath, intern_path
+from repro.bgp.path import intern_table_size
+
+# Valid AS paths: non-negative ASNs without duplicates.
+as_sequences = st.lists(
+    st.integers(min_value=0, max_value=10_000), unique=True, max_size=8
+)
+
+
+@given(as_sequences)
+def test_intern_is_idempotent(ases):
+    assert AsPath.of(ases) is AsPath.of(tuple(ases))
+    assert AsPath.of(ases) is intern_path(ases)
+
+
+@given(as_sequences, as_sequences)
+def test_eq_and_hash_agree_with_tuple_semantics(left, right):
+    a, b = AsPath.of(left), AsPath.of(right)
+    assert (a == b) == (tuple(left) == tuple(right))
+    if a == b:
+        assert hash(a) == hash(b)
+        assert a is b  # interning makes value equality an identity check
+
+
+@given(as_sequences)
+def test_uninterned_twin_is_equal_and_hash_compatible(ases):
+    # Direct construction (tests, ad-hoc analysis) must stay value-
+    # compatible with the canonical instance even though it is a
+    # distinct object.
+    interned = AsPath.of(ases)
+    twin = AsPath(ases)
+    assert twin == interned
+    assert hash(twin) == hash(interned)
+    if ases:
+        assert twin is not interned
+
+
+@given(as_sequences, st.integers(min_value=0, max_value=10_500))
+def test_membership_matches_tuple_membership(ases, probe):
+    assert (probe in AsPath.of(ases)) == (probe in tuple(ases))
+
+
+@given(as_sequences)
+def test_pickle_round_trip_reinterns(ases):
+    # Sweep workers unpickle routes shipped across the process boundary;
+    # __reduce__ routes them through intern_path, so the loaded path is
+    # the receiving process's canonical instance, not a fresh copy.
+    original = AsPath.of(ases)
+    loaded = pickle.loads(pickle.dumps(original))
+    assert loaded is original
+    assert intern_table_size() == intern_table_size()  # no duplicate entry
+
+
+@given(as_sequences, st.integers(min_value=10_001, max_value=10_100))
+def test_algebra_results_are_interned(ases, head):
+    path = AsPath.of(ases)
+    prepended = path.prepend(head)
+    assert prepended is AsPath.of((head, *ases))
+    assert prepended.suffix_from(head) is prepended
+    if ases:
+        assert path.suffix_from(ases[0]) is path
+    assert AsPath.empty() is AsPath.of(())
