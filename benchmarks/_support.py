@@ -7,12 +7,15 @@ shape checks.  EXPERIMENTS.md is written from these result files.
 
 Two extras support long parallel studies:
 
-* :func:`checkpointed_sweep` wraps :func:`repro.experiments.sweep` with a
-  JSON-lines journal: every completed sweep point is appended to
-  ``results/<name>.points.jsonl`` the moment it finishes, and a rerun
-  loads the journal and only executes the x values it is missing.  An
-  interrupted sweep therefore *resumes* instead of silently re-running
-  hours of finished trials from scratch.
+* :func:`checkpointed_sweep` is now a thin shim over the library's
+  crash-safe journal (:func:`repro.experiments.checkpointed_sweep`):
+  every finished *trial* is durably appended (CRC-checked, fsync'd) to
+  ``results/<name>.trials.jsonl``, and a rerun only executes the
+  ``(x, seed)`` pairs it is missing.  An interrupted sweep therefore
+  *resumes* instead of silently re-running hours of finished trials from
+  scratch — and survives ``kill -9``, not just polite interrupts.  (The
+  pre-library ``<name>.points.jsonl`` format is no longer read; those
+  sweeps re-run once.)
 * :func:`bench_cli` gives a benchmark module a ``python bench_x.py
   --jobs N`` entry point that times its figure drivers under the parallel
   sweep executor and prints the wall-clock per figure — the quickest way
@@ -22,7 +25,6 @@ Two extras support long parallel studies:
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -66,59 +68,47 @@ def record(benchmark, figure, require_checks: bool = True) -> None:
 
 @dataclass(frozen=True)
 class PointRecord:
-    """One sweep point reduced to journal-able data."""
+    """One sweep point's journaled trials, aggregated for table rendering."""
 
     x: float
     succeeded: int
     failed: int
     metrics: Dict[str, float]
 
-    def to_json(self) -> str:
-        return json.dumps(
-            {
-                "x": self.x,
-                "succeeded": self.succeeded,
-                "failed": self.failed,
-                "metrics": self.metrics,
-            },
-            sort_keys=True,
-        )
-
     @classmethod
-    def from_json(cls, line: str) -> "PointRecord":
-        data = json.loads(line)
+    def from_summary(cls, summary) -> "PointRecord":
+        """From a library :class:`repro.experiments.PointSummary`."""
         return cls(
-            x=data["x"],
-            succeeded=data["succeeded"],
-            failed=data["failed"],
-            metrics=data["metrics"],
+            x=summary.x,
+            succeeded=summary.succeeded,
+            failed=summary.failed,
+            metrics=dict(summary.metrics),
         )
 
 
 def point_journal_path(name: str) -> Path:
-    """Where :func:`checkpointed_sweep` journals points for ``name``."""
-    return RESULTS_DIR / f"{name}.points.jsonl"
+    """Where :func:`checkpointed_sweep` journals trials for ``name``."""
+    return RESULTS_DIR / f"{name}.trials.jsonl"
 
 
 def load_point_journal(path: Path) -> Dict[float, PointRecord]:
     """Completed points from a previous (possibly interrupted) run.
 
-    A torn final line — the interrupt arriving mid-write — is skipped, so
-    the journal is always safe to resume from.
+    Thin wrapper over :class:`repro.experiments.SweepJournal`: corrupt
+    records and a torn final line are skipped by the library loader, so
+    the journal is always safe to resume from.  Trials aggregate per x.
     """
-    completed: Dict[float, PointRecord] = {}
-    if not path.exists():
-        return completed
-    for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record_ = PointRecord.from_json(line)
-        except (json.JSONDecodeError, KeyError):
-            continue
-        completed[record_.x] = record_
-    return completed
+    from repro.experiments import SweepJournal
+    from repro.experiments.journal import summarize_point
+
+    records, _recovery = SweepJournal(path).load()
+    by_x: Dict[float, list] = {}
+    for record_ in records.values():
+        by_x.setdefault(record_.x, []).append(record_)
+    return {
+        x: PointRecord.from_summary(summarize_point(x, trials))
+        for x, trials in sorted(by_x.items())
+    }
 
 
 def checkpointed_sweep(
@@ -133,56 +123,36 @@ def checkpointed_sweep(
     fresh: bool = False,
     path: Optional[Path] = None,
     on_trial_error=None,
+    policy=None,
 ) -> List[PointRecord]:
-    """A sweep that journals each finished point and resumes on rerun.
+    """A sweep that journals each finished trial and resumes on rerun.
 
-    Points already present in ``results/<name>.points.jsonl`` are loaded,
-    not re-run; the remaining x values go through ``sweep(..., jobs=jobs)``
-    one point at a time, each appended to the journal as soon as its trials
-    complete.  ``fresh=True`` discards the journal first.  Returns records
-    for every x in request order.
-
-    A point whose trials all failed journals with ``metrics == {}`` rather
-    than raising, so one dead point cannot wedge the resume loop.
+    Thin shim over :func:`repro.experiments.checkpointed_sweep` (which
+    owns the durability semantics: per-record CRC, fsync'd appends,
+    atomic checkpoint compaction, SIGTERM/SIGINT-safe finalization).
+    ``fresh=True`` discards the journal first; ``policy`` threads a
+    :class:`repro.experiments.ResiliencePolicy` through to the sweep.
+    Returns records for every x in request order; a point whose trials
+    all failed reports ``metrics == {}`` rather than raising, so one
+    dead point cannot wedge the resume loop.
     """
-    from repro.experiments import RunSettings, sweep
-    from repro.errors import AnalysisError
+    from repro.experiments import checkpointed_sweep as journaled_sweep
 
-    settings = settings or RunSettings()
     journal = path if path is not None else point_journal_path(name)
     journal.parent.mkdir(exist_ok=True)
-    if fresh and journal.exists():
-        journal.unlink()
-    completed = load_point_journal(journal)
-
-    for x in xs:
-        if x in completed:
-            continue
-        points = sweep(
-            [x],
-            make_scenario,
-            make_config,
-            seeds=seeds,
-            settings=settings,
-            jobs=jobs,
-            on_trial_error=on_trial_error,
-        )
-        point = points[0]
-        try:
-            metrics = point.metrics()
-        except AnalysisError:
-            metrics = {}
-        record_ = PointRecord(
-            x=point.x,
-            succeeded=point.succeeded,
-            failed=point.failed,
-            metrics=metrics,
-        )
-        with journal.open("a", encoding="utf-8") as handle:
-            handle.write(record_.to_json() + "\n")
-        completed[x] = record_
-
-    return [completed[x] for x in xs]
+    summaries = journaled_sweep(
+        xs,
+        make_scenario,
+        make_config,
+        journal=journal,
+        seeds=seeds,
+        settings=settings,
+        jobs=jobs,
+        policy=policy,
+        fresh=fresh,
+        on_trial_error=on_trial_error,
+    )
+    return [PointRecord.from_summary(summary) for summary in summaries]
 
 
 # ----------------------------------------------------------------------

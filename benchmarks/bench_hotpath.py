@@ -39,12 +39,27 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from functools import partial  # noqa: E402
+
 from repro.bgp import BgpConfig  # noqa: E402
-from repro.experiments import RunSettings  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    ResiliencePolicy,
+    RunSettings,
+    TrialTask,
+    run_trial_resilient,
+)
 from repro.experiments.runner import run_experiment  # noqa: E402
 from repro.experiments.scenarios import tdown_clique, tflap_bclique  # noqa: E402
 
 SCHEMA_VERSION = 1
+
+
+def _constant_scenario(x, seed, scenario=None):
+    return scenario
+
+
+def _constant_config(x, config=None):
+    return config
 
 
 def _tdown10():
@@ -75,18 +90,43 @@ SCENARIOS: Dict[str, Callable[[], Tuple[object, BgpConfig]]] = {
 }
 
 
-def run_scenario(name: str, repeat: int, seed: int = 0) -> Dict[str, object]:
-    """Median-of-``repeat`` timing for one named scenario."""
+def run_scenario(
+    name: str, repeat: int, seed: int = 0, raw: bool = False
+) -> Dict[str, object]:
+    """Median-of-``repeat`` timing for one named scenario.
+
+    By default trials run through the resilient in-process path
+    (:func:`repro.experiments.run_trial_resilient` under a default
+    :class:`~repro.experiments.ResiliencePolicy`) — the same code every
+    resilient sweep takes per trial, so this benchmark gates its
+    overhead; ``raw=True`` times a bare
+    :func:`~repro.experiments.runner.run_experiment` instead.  CI runs
+    both and asserts the resilient path costs < 5 %.
+    """
     build = SCENARIOS[name]
+    policy = ResiliencePolicy()
     samples = []
     updates = 0
     scenario_name = ""
     for _ in range(repeat):
         scenario, config = build()
         scenario_name = scenario.name
-        start = time.perf_counter()
-        run = run_experiment(scenario, config, RunSettings(), seed=seed)
-        samples.append(time.perf_counter() - start)
+        if raw:
+            start = time.perf_counter()
+            run = run_experiment(scenario, config, RunSettings(), seed=seed)
+            samples.append(time.perf_counter() - start)
+        else:
+            task = TrialTask(
+                index=0,
+                x=0.0,
+                seed=seed,
+                make_scenario=partial(_constant_scenario, scenario=scenario),
+                make_config=partial(_constant_config, config=config),
+                settings=RunSettings(),
+            )
+            start = time.perf_counter()
+            run = run_trial_resilient(task, policy)
+            samples.append(time.perf_counter() - start)
         updates = run.result.convergence.update_count
     wall = statistics.median(samples)
     return {
@@ -117,12 +157,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--output", type=Path, default=None, metavar="PATH",
         help="write the JSON document here (default: stdout only)",
     )
+    parser.add_argument(
+        "--raw", action="store_true",
+        help=(
+            "time bare run_experiment calls instead of the resilient "
+            "per-trial path (the default); diffing the two documents with "
+            "compare_baselines.py measures resilience overhead"
+        ),
+    )
     args = parser.parse_args(argv)
     chosen = args.scenarios or sorted(SCENARIOS)
 
     results: Dict[str, Dict[str, object]] = {}
     for name in chosen:
-        result = run_scenario(name, repeat=args.repeat, seed=args.seed)
+        result = run_scenario(
+            name, repeat=args.repeat, seed=args.seed, raw=args.raw
+        )
         results[name] = result
         print(
             f"[{name}] {result['scenario']}: "
@@ -137,6 +187,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "benchmark": "hotpath",
         "repeat": args.repeat,
         "seed": args.seed,
+        "mode": "raw" if args.raw else "resilient",
         "python": platform.python_version(),
         "results": results,
     }

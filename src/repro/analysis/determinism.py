@@ -17,15 +17,19 @@ Used by ``python -m repro determinism`` and the CI smoke check.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..bgp import BgpConfig
 from ..errors import AnalysisError
 from ..experiments import RunSettings, Scenario, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from ..experiments.resilience import ResiliencePolicy
 
 
 @dataclass(frozen=True)
@@ -160,6 +164,23 @@ def fingerprint_once(
     return fingerprint_run(run)
 
 
+def _constant_scenario(x: float, seed: int, scenario: Scenario = None) -> Scenario:
+    """Module-level constant factory (picklable via ``functools.partial``)."""
+    return scenario
+
+
+def _constant_config(x: float, config: BgpConfig = None) -> BgpConfig:
+    """Module-level constant factory (picklable via ``functools.partial``)."""
+    return config
+
+
+def _fingerprint_worker(task) -> RunFingerprint:
+    """Supervised-executor worker: one repetition reduced to its digest."""
+    scenario = task.make_scenario(task.x, task.seed)
+    config = task.make_config(task.x)
+    return fingerprint_once(scenario, config, task.settings, task.seed)
+
+
 def check_determinism(
     scenario: Scenario,
     config: BgpConfig,
@@ -167,6 +188,7 @@ def check_determinism(
     seed: int = 0,
     runs: int = 2,
     jobs: int = 1,
+    policy: Optional["ResiliencePolicy"] = None,
 ) -> DeterminismReport:
     """Run ``scenario`` ``runs`` times under one seed and diff the digests.
 
@@ -180,6 +202,14 @@ def check_determinism(
     digests then certify that a trial is bit-identical whether it runs
     in-process or in a parallel-sweep worker, which is exactly the
     guarantee ``sweep(..., jobs=N)`` relies on.
+
+    ``policy`` (with ``jobs > 1``) runs the worker repetitions under the
+    supervised resilient executor instead of a bare pool: a worker killed
+    mid-repetition is restarted and retried per the policy, and the
+    digests must *still* match the in-process baseline — the strongest
+    form of the retries-don't-perturb-determinism guarantee.  A
+    repetition that exhausts its retries raises its final error (a
+    determinism check cannot compare digests it never got).
     """
     if runs < 2:
         raise AnalysisError(f"a determinism check needs >= 2 runs, got {runs}")
@@ -193,6 +223,32 @@ def check_determinism(
             fingerprints.append(
                 fingerprint_once(scenario, config, settings, seed)
             )
+    elif policy is not None:
+        from ..experiments.resilience import run_tasks_supervised
+        from ..experiments.sweep import TrialFailure, TrialTask
+
+        fingerprints.append(fingerprint_once(scenario, config, settings, seed))
+        tasks = [
+            TrialTask(
+                index=index,
+                x=0.0,
+                seed=seed,
+                make_scenario=functools.partial(
+                    _constant_scenario, scenario=scenario
+                ),
+                make_config=functools.partial(_constant_config, config=config),
+                settings=settings,
+            )
+            for index in range(runs - 1)
+        ]
+        outcomes, _report = run_tasks_supervised(
+            tasks, min(jobs, runs - 1), policy, worker_fn=_fingerprint_worker
+        )
+        for index in range(runs - 1):
+            outcome = outcomes[index]
+            if isinstance(outcome, TrialFailure):
+                raise outcome.error
+            fingerprints.append(outcome)
     else:
         fingerprints.append(fingerprint_once(scenario, config, settings, seed))
         with ProcessPoolExecutor(max_workers=min(jobs, runs - 1)) as pool:

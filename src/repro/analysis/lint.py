@@ -94,7 +94,10 @@ RULES: Dict[str, Tuple[str, str]] = {
 #: still trips REP101 — the tests pin that.
 RULE_EXEMPT_SUFFIXES: Dict[str, Tuple[str, ...]] = {
     "unseeded-random": ("engine/rng.py",),
-    "wall-clock": ("telemetry/profiler.py",),
+    # resilience.py is harness-side supervision *about* the simulation
+    # (watchdog deadlines, backoff cooldowns) — wall clock is its job,
+    # exactly like the profiler's.
+    "wall-clock": ("telemetry/profiler.py", "experiments/resilience.py"),
     # path.py is the intern table's home: its factories construct the
     # canonical instances everyone else must obtain via AsPath.of().
     "uninterned-aspath": ("bgp/path.py",),

@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     repro run          # one experiment: topology + event + variant -> metrics
     repro figure       # regenerate one paper figure as an ASCII table
+    repro sweep        # journaled, resumable Tdown clique sweep
     repro topology     # generate a topology and dump it as an edge list
     repro list         # available figures, variants, topology kinds
     repro lint         # determinism lint pass over the simulator's sources
@@ -11,7 +12,10 @@ Seven subcommands::
     repro metrics      # one traced run: telemetry table + timeline exports
 
 Also reachable as ``python -m repro``.  Every command is deterministic for
-a given ``--seed`` — and ``repro determinism`` proves it.
+a given ``--seed`` — and ``repro determinism`` proves it.  ``figure``,
+``sweep``, and ``determinism`` accept ``--retries``/``--trial-timeout`` to
+run their parallel trials under the resilient supervised executor (worker
+restarts, watchdog timeouts, retry with backoff — results unchanged).
 """
 
 from __future__ import annotations
@@ -114,6 +118,41 @@ QUICK_FIGURE_KWARGS: Dict[str, dict] = {
 TOPOLOGY_KINDS = ("clique", "b-clique", "chain", "ring", "star", "internet")
 
 
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help=(
+            "retry trials lost to worker death or timeout up to N times "
+            "with capped, deterministically-jittered backoff (enables the "
+            "supervised executor)"
+        ),
+    )
+    parser.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "kill and retry any single trial running longer than this "
+            "(supervised executor; needs --jobs > 1 to preempt)"
+        ),
+    )
+
+
+def _policy_of(args):
+    """A :class:`ResiliencePolicy` from CLI flags, or ``None`` when the
+    resilience flags were not used (legacy executors)."""
+    retries = getattr(args, "retries", None)
+    trial_timeout = getattr(args, "trial_timeout", None)
+    if retries is None and trial_timeout is None:
+        return None
+    from .experiments import ResiliencePolicy
+
+    kwargs = {}
+    if retries is not None:
+        kwargs["max_retries"] = retries
+    if trial_timeout is not None:
+        kwargs["trial_timeout"] = trial_timeout
+    return ResiliencePolicy(**kwargs)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -208,6 +247,49 @@ def build_parser() -> argparse.ArgumentParser:
             "metric table after the figure (digests are unaffected)"
         ),
     )
+    _add_resilience_arguments(figure)
+
+    sweep_cmd = commands.add_parser(
+        "sweep",
+        help="journaled, resumable Tdown clique sweep (crash-safe)",
+    )
+    sweep_cmd.add_argument(
+        "--sizes", default="3,4,5", metavar="N,N,...",
+        help="comma-separated clique sizes to sweep (default: 3,4,5)",
+    )
+    sweep_cmd.add_argument(
+        "--trials", type=int, default=2, metavar="N",
+        help="seeded trials per size (seeds 0..N-1; default: 2)",
+    )
+    sweep_cmd.add_argument(
+        "--mrai", type=float, default=2.0, help="MRAI seconds (default: 2)"
+    )
+    sweep_cmd.add_argument(
+        "--variant", choices=VARIANT_NAMES, default="standard",
+        help="protocol variant (default: standard)",
+    )
+    sweep_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (0 = one per CPU; default: 1)",
+    )
+    sweep_cmd.add_argument(
+        "--journal", required=True, metavar="PATH",
+        help=(
+            "CRC-checked JSONL trial journal; every finished trial is "
+            "durably appended, so a crashed sweep re-runs only what's "
+            "missing"
+        ),
+    )
+    resume_group = sweep_cmd.add_mutually_exclusive_group()
+    resume_group.add_argument(
+        "--resume", action="store_true",
+        help="resume from the journal if present (the default behavior)",
+    )
+    resume_group.add_argument(
+        "--fresh", action="store_true",
+        help="discard any existing journal and start over",
+    )
+    _add_resilience_arguments(sweep_cmd)
 
     topo = commands.add_parser("topology", help="generate and print a topology")
     topo.add_argument("--kind", choices=TOPOLOGY_KINDS, default="internet")
@@ -263,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
             "is purely observational)"
         ),
     )
+    _add_resilience_arguments(determinism)
 
     metrics = commands.add_parser(
         "metrics",
@@ -413,6 +496,16 @@ def _cmd_figure(args) -> int:
             f"--jobs ignored",
             file=sys.stderr,
         )
+    policy = _policy_of(args)
+    if policy is not None:
+        if "policy" in parameters:
+            kwargs["policy"] = policy
+        else:
+            print(
+                f"note: {args.id} does not sweep; "
+                f"--retries/--trial-timeout ignored",
+                file=sys.stderr,
+            )
     if args.metrics:
         if "settings" in parameters:
             kwargs["settings"] = RunSettings(telemetry=True)
@@ -441,6 +534,56 @@ def _cmd_figure(args) -> int:
         print("\nshape checks NOT satisfied at these parameters:")
         for check in failures:
             print(f"  {check}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments import (
+        SweepJournal,
+        checkpointed_sweep,
+        clique_tdown_trial,
+        constant_config,
+        factory_ref,
+        last_report,
+    )
+
+    sizes = [int(value) for value in args.sizes.split(",") if value.strip()]
+    if not sizes:
+        raise ReproError(f"--sizes needs at least one size, got {args.sizes!r}")
+    if args.trials < 1:
+        raise ReproError(f"--trials must be >= 1, got {args.trials}")
+    seeds = tuple(range(args.trials))
+    config = variant(args.variant, mrai=args.mrai)
+    policy = _policy_of(args)
+    journal = SweepJournal(args.journal)
+    summaries = checkpointed_sweep(
+        sizes,
+        clique_tdown_trial,
+        factory_ref(constant_config, config=config),
+        journal=journal,
+        seeds=seeds,
+        settings=RunSettings(),
+        jobs=args.jobs,
+        policy=policy,
+        fresh=args.fresh,
+    )
+    journal.close()
+    print(journal.recovery.render())
+    header = f"{'size':>6} {'ok':>4} {'fail':>5} {'timeout':>8}  metrics"
+    print(header)
+    for summary in summaries:
+        metrics = ", ".join(
+            f"{key}={value:.2f}" for key, value in sorted(summary.metrics.items())
+        )
+        print(
+            f"{summary.x:>6g} {summary.succeeded:>4} {summary.failed:>5} "
+            f"{summary.timeouts:>8}  {metrics or '-'}"
+        )
+    supervision = last_report()
+    if policy is not None and supervision is not None:
+        print(supervision.render())
+    if any(summary.succeeded == 0 for summary in summaries):
+        return 1
     return 0
 
 
@@ -489,6 +632,7 @@ def _cmd_determinism(args) -> int:
     scenario = tdown_clique(args.size)
     config = variant(args.variant, mrai=args.mrai)
     settings = RunSettings(sanitize=args.sanitize)
+    policy = _policy_of(args)
     report = check_determinism(
         scenario,
         config,
@@ -496,6 +640,7 @@ def _cmd_determinism(args) -> int:
         seed=args.seed,
         runs=args.runs,
         jobs=args.jobs,
+        policy=policy,
     )
     print(report.render())
     if not report.identical:
@@ -510,6 +655,7 @@ def _cmd_determinism(args) -> int:
             seed=args.seed,
             runs=args.runs,
             jobs=args.jobs,
+            policy=policy,
         )
         print(traced.render())
         if not traced.identical:
@@ -580,6 +726,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
         "topology": _cmd_topology,
         "list": _cmd_list,
         "lint": _cmd_lint,

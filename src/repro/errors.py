@@ -44,6 +44,50 @@ class BudgetExceededError(SimulationError):
         return (self.__class__, (self.args[0], self.snapshot))
 
 
+class TrialTimeoutError(SimulationError):
+    """A trial exceeded its wall-clock budget and was killed by the watchdog.
+
+    Raised (or recorded, per the
+    :class:`~repro.experiments.resilience.ResiliencePolicy`) by the
+    supervised sweep executor when a worker held one trial longer than
+    ``policy.trial_timeout`` seconds.  A :class:`SimulationError` subclass
+    so sweep fault isolation treats a hung trial like any other per-trial
+    failure instead of aborting the whole sweep.
+
+    ``__reduce__`` keeps the structured fields across process boundaries
+    (the default exception reduction would drop the keywords).
+    """
+
+    def __init__(self, message: str, timeout: float = 0.0, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+        self.attempts = attempts
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.timeout, self.attempts))
+
+
+class WorkerCrashError(SimulationError):
+    """A sweep worker process died (OOM kill, SIGKILL, segfault) mid-trial.
+
+    Recorded by the supervised executor after retries are exhausted; the
+    ``exitcode`` is the worker's final exit status (negative = killed by
+    that signal number, the ``multiprocessing`` convention).
+    """
+
+    def __init__(self, message: str, exitcode: int = 0, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+        self.attempts = attempts
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.exitcode, self.attempts))
+
+
+class JournalError(ReproError):
+    """A sweep journal was misused (bad path, closed handle, bad record)."""
+
+
 class SanitizerError(ReproError):
     """A runtime sanitizer observed an invariant violation.
 

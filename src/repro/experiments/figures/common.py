@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ...bgp import BgpConfig, variant
 from ..config import RunSettings
 from ..report import FigureData
+from ..resilience import ResiliencePolicy
 from ..spec import constant_config, factory_ref, mrai_config
 from ..sweep import ScenarioFactory, SweepPoint, series, sweep, xs_of
 
@@ -49,6 +50,7 @@ def metric_sweep_figure(
     config: Optional[BgpConfig] = None,
     mrai_is_x: bool = False,
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> Tuple[FigureData, List[SweepPoint]]:
     """Run one sweep and package the requested metric series as a figure.
 
@@ -58,6 +60,8 @@ def metric_sweep_figure(
     processes (see :func:`~repro.experiments.sweep.sweep`); the config
     factories here are :class:`~repro.experiments.spec.FactoryRef`\\ s, so
     any driver whose scenario factory is module-level parallelizes for free.
+    ``policy`` adds resilient execution (worker supervision, per-trial
+    timeouts, retry with backoff) for long parallel figure runs.
     """
     base = config or BgpConfig.standard(mrai)
     if mrai_is_x:
@@ -66,7 +70,13 @@ def metric_sweep_figure(
         make_config = factory_ref(constant_config, config=base)
 
     points = sweep(
-        xs, make_scenario, make_config, seeds=seeds, settings=settings, jobs=jobs
+        xs,
+        make_scenario,
+        make_config,
+        seeds=seeds,
+        settings=settings,
+        jobs=jobs,
+        policy=policy,
     )
     figure = FigureData(
         figure_id=figure_id,
@@ -88,12 +98,14 @@ def variant_comparison_series(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> Dict[str, List[float]]:
     """One metric's sweep series per protocol variant.
 
     Returns ``{variant_name: [metric at each x]}`` with every variant run on
     identical scenarios and seeds, making the comparison paired.  ``jobs``
-    parallelizes the trials within each variant's sweep.
+    parallelizes the trials within each variant's sweep; ``policy`` runs
+    them resiliently (see :func:`~repro.experiments.sweep.sweep`).
     """
     result: Dict[str, List[float]] = {}
     for name in variant_names:
@@ -105,6 +117,7 @@ def variant_comparison_series(
             seeds=seeds,
             settings=settings,
             jobs=jobs,
+            policy=policy,
         )
         result[name] = series(points, METRIC_KEYS[metric])
     return result

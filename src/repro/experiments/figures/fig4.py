@@ -8,11 +8,12 @@ Tdown, and differ by roughly one MRAI round (30-45 s) for Tlong.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ...core import check_duration_coupling
 from ...core.observations import check_tlong_gap
 from ..config import RunSettings
+from ..resilience import ResiliencePolicy
 from ..report import FigureData
 from ..scenarios import (
     bclique_tlong_trial,
@@ -41,6 +42,7 @@ def figure4a(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tdown in Clique topologies: looping duration ≈ convergence time."""
     figure, _points = metric_sweep_figure(
@@ -54,6 +56,7 @@ def figure4a(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _with_coupling_check(figure, max_gap_fraction=0.35)
 
@@ -64,6 +67,7 @@ def figure4b(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tlong in B-Clique topologies: gap ≈ one MRAI round (30-45 s)."""
     figure, _points = metric_sweep_figure(
@@ -77,6 +81,7 @@ def figure4b(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     figure.checks.append(
         check_tlong_gap(
@@ -94,6 +99,7 @@ def figure4c(
     seeds: Sequence[int] = (0, 1),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tdown in Internet-derived topologies (paper sizes 29/48/75/110)."""
     figure, _points = metric_sweep_figure(
@@ -107,5 +113,6 @@ def figure4c(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _with_coupling_check(figure, max_gap_fraction=0.6)

@@ -8,10 +8,11 @@ in a B-Clique.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ...core import check_linear_in_mrai
 from ..config import RunSettings
+from ..resilience import ResiliencePolicy
 from ..report import FigureData
 from ..scenarios import bclique_tlong_fixed, clique_tdown_fixed
 from ..spec import factory_ref
@@ -39,6 +40,7 @@ def figure5a(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tdown in a Clique: both curves scale linearly with M."""
     figure, _points = metric_sweep_figure(
@@ -52,6 +54,7 @@ def figure5a(
         settings=settings,
         mrai_is_x=True,
         jobs=jobs,
+        policy=policy,
     )
     return _with_linearity_checks(figure)
 
@@ -62,6 +65,7 @@ def figure5b(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tlong in a B-Clique: both curves scale linearly with M."""
     figure, _points = metric_sweep_figure(
@@ -75,5 +79,6 @@ def figure5b(
         settings=settings,
         mrai_is_x=True,
         jobs=jobs,
+        policy=policy,
     )
     return _with_linearity_checks(figure)

@@ -8,10 +8,11 @@ meet a loop.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ...core import ObservationCheck
 from ..config import RunSettings
+from ..resilience import ResiliencePolicy
 from ..report import FigureData
 from ..scenarios import (
     bclique_tlong_trial,
@@ -45,6 +46,7 @@ def figure6a(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tdown in Cliques: exhaustion counts and a >= 65% looping ratio."""
     figure, _points = metric_sweep_figure(
@@ -58,6 +60,7 @@ def figure6a(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _with_ratio_floor(figure, floor=0.5)
 
@@ -68,6 +71,7 @@ def figure6b(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tlong in B-Cliques: exhaustion counts and a >= 35% looping ratio."""
     figure, _points = metric_sweep_figure(
@@ -81,6 +85,7 @@ def figure6b(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _with_ratio_floor(figure, floor=0.25)
 
@@ -91,6 +96,7 @@ def figure6c(
     seeds: Sequence[int] = (0, 1),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tdown in Internet-derived topologies (paper: up to 86% at n=110)."""
     figure, _points = metric_sweep_figure(
@@ -104,5 +110,6 @@ def figure6c(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _with_ratio_floor(figure, floor=0.3)

@@ -8,10 +8,11 @@ over.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ...core import check_linear_in_mrai, check_ratio_constant
 from ..config import RunSettings
+from ..resilience import ResiliencePolicy
 from ..report import FigureData
 from ..scenarios import bclique_tlong_fixed, clique_tdown_fixed
 from ..spec import factory_ref
@@ -34,6 +35,7 @@ def figure7a(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tdown in a Clique: linear exhaustions, flat ratio."""
     figure, _points = metric_sweep_figure(
@@ -47,6 +49,7 @@ def figure7a(
         settings=settings,
         mrai_is_x=True,
         jobs=jobs,
+        policy=policy,
     )
     return _with_obs2_checks(figure)
 
@@ -57,6 +60,7 @@ def figure7b(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Tlong in a B-Clique: linear exhaustions, flat ratio."""
     figure, _points = metric_sweep_figure(
@@ -70,5 +74,6 @@ def figure7b(
         settings=settings,
         mrai_is_x=True,
         jobs=jobs,
+        policy=policy,
     )
     return _with_obs2_checks(figure)

@@ -10,11 +10,12 @@ cuts looping by >= 80%; SSLD helps modestly; WRATE is mixed-to-harmful.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ...bgp import VARIANT_NAMES
 from ...core import check_enhancement_ranking
 from ..config import RunSettings
+from ..resilience import ResiliencePolicy
 from ..report import FigureData
 from ..scenarios import clique_tdown_trial, internet_tdown_trial
 from .common import normalize_to, variant_comparison_series
@@ -51,6 +52,7 @@ def figure8a(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """TTL exhaustions normalized by standard BGP, Tdown in Cliques."""
     raw = variant_comparison_series(
@@ -62,6 +64,7 @@ def figure8a(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _comparison_figure(
         "fig8a",
@@ -80,6 +83,7 @@ def figure8b(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Convergence time per variant, Tdown in Cliques."""
     raw = variant_comparison_series(
@@ -91,6 +95,7 @@ def figure8b(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _comparison_figure(
         "fig8b",
@@ -109,6 +114,7 @@ def figure8c(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """TTL exhaustions per variant, Tdown in Internet-derived graphs."""
     raw = variant_comparison_series(
@@ -120,6 +126,7 @@ def figure8c(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _comparison_figure(
         "fig8c",
@@ -138,6 +145,7 @@ def figure8d(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Convergence time per variant, Tdown in Internet-derived graphs."""
     raw = variant_comparison_series(
@@ -149,6 +157,7 @@ def figure8d(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _comparison_figure(
         "fig8d",

@@ -10,11 +10,12 @@ exactly the messages that would have broken loops.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ...bgp import VARIANT_NAMES
 from ...core import check_wrate_regression
 from ..config import RunSettings
+from ..resilience import ResiliencePolicy
 from ..report import FigureData
 from ..scenarios import bclique_tlong_trial, internet_tlong_trial
 from .common import variant_comparison_series
@@ -27,6 +28,7 @@ def figure9a(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """TTL exhaustions normalized by standard BGP, Tlong in B-Cliques."""
     raw = variant_comparison_series(
@@ -38,6 +40,7 @@ def figure9a(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _comparison_figure(
         "fig9a",
@@ -56,6 +59,7 @@ def figure9b(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Convergence time per variant, Tlong in B-Cliques."""
     raw = variant_comparison_series(
@@ -67,6 +71,7 @@ def figure9b(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _comparison_figure(
         "fig9b",
@@ -85,6 +90,7 @@ def figure9c(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """TTL exhaustions per variant, Tlong on Internet-derived graphs.
 
@@ -101,6 +107,7 @@ def figure9c(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     figure = _comparison_figure(
         "fig9c",
@@ -123,6 +130,7 @@ def figure9d(
     seeds: Sequence[int] = (0,),
     settings: RunSettings = RunSettings(),
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> FigureData:
     """Convergence time per variant, Tlong on Internet-derived graphs."""
     raw = variant_comparison_series(
@@ -134,6 +142,7 @@ def figure9d(
         seeds=seeds,
         settings=settings,
         jobs=jobs,
+        policy=policy,
     )
     return _comparison_figure(
         "fig9d",

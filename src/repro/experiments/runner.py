@@ -84,6 +84,11 @@ class ExperimentRun:
     """Simulation-time instants and spans when ``settings.timeline`` was
     set; export with ``timeline.write_chrome_trace(path)`` or
     ``timeline.write_jsonl(path)``."""
+    attempt: int = 1
+    """Which attempt produced this run (resilient sweeps only; > 1 means
+    earlier attempts were lost to worker death or watchdog timeout and
+    the identical task was re-run).  Provenance, not simulation state —
+    deliberately outside the fingerprint."""
 
     @property
     def converged(self) -> bool:

@@ -55,6 +55,7 @@ from ..core import LoopStudyResult
 from ..errors import AnalysisError, SimulationError
 from ..util.stats import mean
 from .config import RunSettings
+from .resilience import ResiliencePolicy, run_tasks_supervised, run_trial_resilient
 from .runner import ExperimentRun, run_experiment
 from .scenarios import Scenario
 
@@ -77,6 +78,13 @@ class TrialFailure:
     x: float
     seed: int
     error: SimulationError
+    #: Which attempt produced this terminal failure (1 = first try; > 1
+    #: means the resilience layer retried a transient failure this many
+    #: times before giving up).
+    attempt: int = 1
+    #: Wall-clock seconds the final attempt ran (harness-side
+    #: observability; 0.0 outside the resilient paths).
+    elapsed: float = 0.0
 
     @property
     def snapshot(self):
@@ -84,7 +92,36 @@ class TrialFailure:
         return getattr(self.error, "snapshot", None)
 
     def __repr__(self) -> str:
-        return f"TrialFailure(x={self.x}, seed={self.seed}: {self.error})"
+        # Stable across reruns: ``elapsed`` is wall clock and deliberately
+        # excluded so failure reprs can be diffed between runs and asserted
+        # on in tests.
+        return (
+            f"TrialFailure(x={self.x}, seed={self.seed}, "
+            f"attempt={self.attempt}: {self.error})"
+        )
+
+
+@dataclass(frozen=True)
+class TrialTimeout(TrialFailure):
+    """A trial killed by the per-trial wall-clock watchdog.
+
+    A :class:`TrialFailure` subclass so every existing consumer
+    (``failures_of``, ``SweepPoint.failed``, ``on_trial_error``) sees it
+    transparently; ``error`` is always a
+    :class:`~repro.errors.TrialTimeoutError`.  Only the supervised
+    (``jobs > 1`` + :class:`~repro.experiments.resilience.
+    ResiliencePolicy` with ``trial_timeout``) executor produces these —
+    an in-process trial cannot be preempted.
+    """
+
+    #: The wall-clock budget (seconds) the trial exceeded.
+    timeout: float = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"TrialTimeout(x={self.x}, seed={self.seed}, "
+            f"attempt={self.attempt}, timeout={self.timeout}: {self.error})"
+        )
 
 
 @dataclass(frozen=True)
@@ -132,6 +169,13 @@ class SweepPoint:
     def failed(self) -> int:
         """Trials that died (recorded in :attr:`failures`)."""
         return len(self.failures)
+
+    @property
+    def timeouts(self) -> int:
+        """Failed trials that were watchdog-killed (:class:`TrialTimeout`)."""
+        return sum(
+            1 for failure in self.failures if isinstance(failure, TrialTimeout)
+        )
 
     def mean_metric(self, name: str) -> float:
         """Trial-mean of one ``LoopStudyResult.summary_row()`` metric.
@@ -279,8 +323,12 @@ def _run_tasks_parallel(
                         )
                     )
         except BaseException:
-            for future in index_of:
-                future.cancel()
+            # Per-future ``cancel()`` only catches futures not yet grabbed
+            # by a worker, and the ``with`` exit alone would then *run*
+            # every still-queued straggler before returning.  Cancel the
+            # queue wholesale and drain only the in-flight trials, so a
+            # sanitizer abort surfaces promptly even mid-sweep.
+            pool.shutdown(wait=True, cancel_futures=True)
             raise
     return outcomes
 
@@ -296,6 +344,7 @@ def sweep(
     jobs: int = 1,
     digests: bool = False,
     on_progress: Optional[ProgressCallback] = None,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> List[SweepPoint]:
     """Run ``len(xs) × len(seeds)`` experiments and group them by x.
 
@@ -332,6 +381,19 @@ def sweep(
 
     ``on_progress`` observes every completed trial (completion order when
     parallel) — wire it to a counter or log line for long sweeps.
+
+    ``policy`` (a :class:`~repro.experiments.resilience.ResiliencePolicy`)
+    turns on resilient execution.  With ``jobs > 1`` trials run under the
+    supervised executor: worker death and watchdog timeouts are retried
+    with capped, deterministically-jittered backoff, and trials that
+    exhaust their retries land in ``failures`` as
+    :class:`TrialFailure`/:class:`TrialTimeout` (or abort the sweep,
+    per ``policy.on_exhausted``).  With ``jobs=1`` the policy only adds
+    attempt/elapsed provenance — an in-process trial cannot be preempted
+    or survive its own crash.  A retried trial re-runs the *identical*
+    :class:`TrialTask`, so resilience never perturbs ``digests=True``
+    equivalence.  Supervision counters land in
+    :func:`~repro.experiments.resilience.last_report`.
     """
     if not xs:
         raise AnalysisError("sweep needs at least one x value")
@@ -359,7 +421,10 @@ def sweep(
     if jobs == 1:
         outcomes: Dict[int, TrialOutcome] = {}
         for task in tasks:
-            outcome = run_trial(task)
+            if policy is not None:
+                outcome = run_trial_resilient(task, policy)
+            else:
+                outcome = run_trial(task)
             if isinstance(outcome, TrialFailure) and on_error == "raise":
                 raise outcome.error
             outcomes[task.index] = outcome
@@ -373,6 +438,11 @@ def sweep(
                         ok=not isinstance(outcome, TrialFailure),
                     )
                 )
+    elif policy is not None:
+        _check_tasks_picklable(tasks[0])
+        outcomes, _report = run_tasks_supervised(
+            tasks, jobs, policy, on_progress=on_progress
+        )
     else:
         outcomes = _run_tasks_parallel(tasks, jobs, on_progress)
 
@@ -399,8 +469,15 @@ def sweep(
 
 
 def failures_of(points: Sequence[SweepPoint]) -> List[TrialFailure]:
-    """Every recorded trial failure across the sweep, in ``(x, seed)`` order."""
-    return [failure for point in points for failure in point.failures]
+    """Every recorded trial failure across the sweep, sorted by ``(x, seed)``.
+
+    Sorted explicitly (not just "appended in task order") so the output
+    is deterministic even for failure lists assembled out of order — e.g.
+    by the supervised executor's retry scheduling or by callers merging
+    points from resumed journal segments.
+    """
+    failures = [failure for point in points for failure in point.failures]
+    return sorted(failures, key=lambda failure: (failure.x, failure.seed))
 
 
 def series(points: Sequence[SweepPoint], metric: str) -> List[float]:

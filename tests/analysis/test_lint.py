@@ -92,6 +92,17 @@ class TestWallClockRule:
             """
         assert lint(code, "src/repro/telemetry/profiler.py") == []
 
+    def test_resilience_supervisor_is_exempt(self):
+        """The other harness-side boundary: watchdog deadlines and retry
+        backoff genuinely consume wall-clock time."""
+        code = """
+            import time
+
+            def deadline(timeout):
+                return time.monotonic() + timeout
+            """
+        assert lint(code, "src/repro/experiments/resilience.py") == []
+
     def test_wall_clock_still_trips_elsewhere_in_telemetry(self):
         """The exemption must not leak to the simulator-side modules."""
         code = """
@@ -104,6 +115,8 @@ class TestWallClockRule:
             "src/repro/telemetry/registry.py",
             "src/repro/telemetry/timeline.py",
             "src/repro/telemetry/probe.py",
+            "src/repro/experiments/sweep.py",
+            "src/repro/experiments/journal.py",
             "src/repro/engine/scheduler.py",
         ):
             assert rules_of(lint(code, path)) == ["wall-clock"], path

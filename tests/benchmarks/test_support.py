@@ -1,13 +1,14 @@
-"""The benchmark journal: interrupted sweeps must resume, not restart.
+"""The benchmark journal shim: interrupted sweeps must resume, not restart.
 
-``checkpointed_sweep`` appends one JSON line per finished point; these
-tests drive it against real (tiny) sweeps and assert that a rerun only
-executes the missing x values, that torn journal lines are tolerated, and
-that an all-failed point journals ``metrics == {}`` instead of wedging
-the resume loop.
+``benchmarks/_support.checkpointed_sweep`` is now a thin wrapper over the
+library's crash-safe journal (``repro.experiments.checkpointed_sweep``,
+one CRC-framed JSON line per finished *trial*); these tests drive the
+shim against real (tiny) sweeps and assert that a rerun only executes
+the missing ``(x, seed)`` pairs, that torn and corrupt journal lines are
+tolerated, and that an all-failed point reports ``metrics == {}``
+instead of wedging the resume loop.
 """
 
-import json
 import sys
 from pathlib import Path
 
@@ -17,10 +18,20 @@ BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
 if str(BENCHMARKS_DIR) not in sys.path:
     sys.path.insert(0, str(BENCHMARKS_DIR))
 
-from _support import PointRecord, checkpointed_sweep, load_point_journal
+from _support import (
+    PointRecord,
+    checkpointed_sweep,
+    load_point_journal,
+    point_journal_path,
+)
 
 from repro.bgp import BgpConfig
 from repro.experiments import RunSettings, constant_config, factory_ref
+from repro.experiments.journal import (
+    TrialRecord,
+    encode_record,
+    summarize_point,
+)
 from repro.experiments.scenarios import clique_tdown_trial
 
 FAST = BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05))
@@ -39,8 +50,8 @@ def journal_lines(path):
 
 
 class TestCheckpointedSweep:
-    def test_points_journal_as_they_finish(self, tmp_path):
-        journal = tmp_path / "sweep.points.jsonl"
+    def test_trials_journal_as_they_finish(self, tmp_path):
+        journal = tmp_path / "sweep.trials.jsonl"
         records = checkpointed_sweep(
             "unused",
             [3, 4],
@@ -52,10 +63,14 @@ class TestCheckpointedSweep:
         )
         assert [r.x for r in records] == [3, 4]
         assert all(r.succeeded == 1 and r.failed == 0 for r in records)
+        # One line per (x, seed) trial.
         assert len(journal_lines(journal)) == 2
 
+    def test_default_path_is_named_trials_journal(self):
+        assert point_journal_path("abc").name == "abc.trials.jsonl"
+
     def test_interrupted_run_resumes_without_repeating(self, tmp_path):
-        journal = tmp_path / "sweep.points.jsonl"
+        journal = tmp_path / "sweep.trials.jsonl"
         # "Interrupt": the first invocation only got through x=3.
         first = checkpointed_sweep(
             "unused",
@@ -78,11 +93,11 @@ class TestCheckpointedSweep:
         assert [r.x for r in resumed] == [3, 4]
         # x=3 was loaded from the journal, byte-identical to the first run.
         assert resumed[0] == first[0]
-        # Only one new line was appended (x=4); x=3 was not re-journaled.
+        # Only one new trial line was appended (x=4); x=3 was not re-run.
         assert len(journal_lines(journal)) == 2
 
     def test_resume_skips_completed_x_entirely(self, tmp_path, monkeypatch):
-        journal = tmp_path / "sweep.points.jsonl"
+        journal = tmp_path / "sweep.trials.jsonl"
         checkpointed_sweep(
             "unused",
             [3, 4],
@@ -93,12 +108,17 @@ class TestCheckpointedSweep:
             path=journal,
         )
 
-        # With every point journaled, a rerun must not call sweep at all.
+        # With every trial journaled, a rerun must not call sweep at all.
+        # The library resolves ``sweep`` lazily from its defining module
+        # (the package attribute is shadowed by the function itself).
         def exploding_sweep(*args, **kwargs):
             raise AssertionError("sweep re-executed a completed point")
 
         monkeypatch.setattr(
-            "repro.experiments.sweep", exploding_sweep, raising=True
+            sys.modules["repro.experiments.sweep"],
+            "sweep",
+            exploding_sweep,
+            raising=True,
         )
         records = checkpointed_sweep(
             "unused",
@@ -113,12 +133,11 @@ class TestCheckpointedSweep:
         assert all(r.metrics["convergence_time"] > 0 for r in records)
 
     def test_fresh_discards_the_journal(self, tmp_path):
-        journal = tmp_path / "sweep.points.jsonl"
-        journal.write_text(
-            PointRecord(x=3, succeeded=9, failed=9, metrics={}).to_json()
-            + "\n",
-            encoding="utf-8",
+        journal = tmp_path / "sweep.trials.jsonl"
+        bogus = TrialRecord(
+            x=3, seed=0, status="ok", metrics={"convergence_time": -1.0}
         )
+        journal.write_text(encode_record(bogus) + "\n", encoding="utf-8")
         records = checkpointed_sweep(
             "unused",
             [3],
@@ -129,19 +148,27 @@ class TestCheckpointedSweep:
             path=journal,
             fresh=True,
         )
-        # The bogus journaled counts are gone; the point was re-run.
+        # The bogus journaled metrics are gone; the trial was re-run.
         assert records[0].succeeded == 1
-        assert records[0].failed == 0
+        assert records[0].metrics["convergence_time"] > 0
 
     def test_torn_final_line_is_skipped_and_rerun(self, tmp_path):
-        journal = tmp_path / "sweep.points.jsonl"
-        good = PointRecord(
-            x=3, succeeded=1, failed=0, metrics={"convergence_time": 1.0}
-        )
-        # The interrupt arrived mid-write: the x=4 line is truncated.
-        journal.write_text(
-            good.to_json() + "\n" + '{"x": 4, "succ', encoding="utf-8"
-        )
+        journal = tmp_path / "sweep.trials.jsonl"
+        good = checkpointed_sweep(
+            "unused",
+            [3],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+        )[0]
+        # The interrupt arrived mid-write: the x=4 trial line is torn.
+        torn = encode_record(
+            TrialRecord(x=4, seed=0, status="ok", metrics={"a": 1.0})
+        )[:-9]
+        with journal.open("a", encoding="utf-8") as handle:
+            handle.write(torn)
         completed = load_point_journal(journal)
         assert set(completed) == {3}
 
@@ -157,9 +184,38 @@ class TestCheckpointedSweep:
         assert [r.x for r in records] == [3, 4]
         assert records[0] == good  # loaded, not re-run
         assert records[1].succeeded == 1  # re-run despite the torn line
+        assert records[1].metrics["convergence_time"] > 0
+
+    def test_corrupt_midfile_line_is_skipped_and_rerun(self, tmp_path):
+        journal = tmp_path / "sweep.trials.jsonl"
+        checkpointed_sweep(
+            "unused",
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+        )
+        # Flip a byte inside the first record's body: CRC now mismatches.
+        lines = journal_lines(journal)
+        lines[0] = lines[0].replace('"seed":0', '"seed":9', 1)
+        journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert set(load_point_journal(journal)) == {4}
+
+        records = checkpointed_sweep(
+            "unused",
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            path=journal,
+        )
+        assert all(r.succeeded == 1 for r in records)
 
     def test_all_failed_point_journals_empty_metrics(self, tmp_path):
-        journal = tmp_path / "sweep.points.jsonl"
+        journal = tmp_path / "sweep.trials.jsonl"
         records = checkpointed_sweep(
             "unused",
             [6],
@@ -172,22 +228,26 @@ class TestCheckpointedSweep:
         assert records[0].failed == 1
         assert records[0].succeeded == 0
         assert records[0].metrics == {}
-        # And the journal line is valid JSON a resume can load.
+        # And the journaled failure is a valid record a resume can load.
         reloaded = load_point_journal(journal)
         assert reloaded[6].metrics == {}
+        assert reloaded[6].failed == 1
 
 
-class TestPointRecordJson:
-    def test_round_trip(self):
-        record = PointRecord(
-            x=5.0,
-            succeeded=2,
-            failed=1,
-            metrics={"updates_sent": 42.0, "distinct_loops": 1.5},
+class TestPointRecordAggregation:
+    def test_from_summary_copies_fields(self):
+        trials = [
+            TrialRecord(x=5.0, seed=0, status="ok", metrics={"u": 10.0}),
+            TrialRecord(x=5.0, seed=1, status="ok", metrics={"u": 30.0}),
+            TrialRecord(x=5.0, seed=2, status="failed", error="boom"),
+        ]
+        record = PointRecord.from_summary(summarize_point(5.0, trials))
+        assert record == PointRecord(
+            x=5.0, succeeded=2, failed=1, metrics={"u": 20.0}
         )
-        assert PointRecord.from_json(record.to_json()) == record
 
-    def test_json_is_one_line(self):
-        record = PointRecord(x=1.0, succeeded=1, failed=0, metrics={})
-        assert "\n" not in record.to_json()
-        assert json.loads(record.to_json())["x"] == 1.0
+    def test_metrics_is_a_plain_mutable_dict(self):
+        trials = [TrialRecord(x=1.0, seed=0, status="ok", metrics={"u": 1.0})]
+        record = PointRecord.from_summary(summarize_point(1.0, trials))
+        record.metrics["extra"] = 2.0  # table-rendering code mutates these
+        assert record.metrics == {"u": 1.0, "extra": 2.0}

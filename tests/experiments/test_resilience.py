@@ -1,0 +1,319 @@
+"""The resilient executor: policy validation, backoff, retry, timeouts.
+
+Heavier fault-injection scenarios (digest equivalence under SIGKILL +
+hang, subprocess drivers) live in ``test_resilience_chaos.py``; these
+tests cover the :class:`ResiliencePolicy` contract and each failure
+kind's bookkeeping in (mostly) isolation.
+"""
+
+import pickle
+from functools import partial
+
+import pytest
+
+import chaos_helpers
+from repro.bgp import BgpConfig
+from repro.errors import ConfigError, TrialTimeoutError, WorkerCrashError
+from repro.experiments import (
+    ResiliencePolicy,
+    RunSettings,
+    SweepPoint,
+    TrialFailure,
+    TrialTimeout,
+    clique_tdown_trial,
+    constant_config,
+    factory_ref,
+    failures_of,
+    last_report,
+    sweep,
+)
+
+FAST = BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05))
+SETTINGS = RunSettings(failure_guard=0.5)
+#: Kills the 6-clique's warm-up while the 3-clique sails through.
+TIGHT = RunSettings(failure_guard=0.5, event_budget=200)
+
+MAKE_CONFIG = factory_ref(constant_config, config=FAST)
+
+#: Generous watchdog budget for trials expected to finish normally.
+SLACK = 60.0
+#: Tight watchdog budget for trials expected to hang.
+SNAP = 0.75
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = ResiliencePolicy()
+        assert policy.max_attempts == policy.max_retries + 1
+        assert policy.on_exhausted == "record"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_retries=-1),
+            dict(backoff_base=-0.1),
+            dict(backoff_cap=-1.0),
+            dict(jitter=1.5),
+            dict(jitter=-0.1),
+            dict(trial_timeout=0.0),
+            dict(trial_timeout=-5.0),
+            dict(on_exhausted="explode"),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ResiliencePolicy(**kwargs)
+
+
+class TestBackoff:
+    def test_first_attempt_never_waits(self):
+        policy = ResiliencePolicy(backoff_base=1.0)
+        assert policy.backoff_delay(0, 0, 1) == 0.0
+
+    def test_deterministic_across_calls(self):
+        a = ResiliencePolicy()
+        b = ResiliencePolicy()
+        for attempt in (2, 3, 4):
+            assert a.backoff_delay(7, 3, attempt) == b.backoff_delay(
+                7, 3, attempt
+            )
+
+    def test_jitter_streams_differ_by_task(self):
+        policy = ResiliencePolicy(backoff_base=1.0, jitter=1.0)
+        delays = {policy.backoff_delay(i, 0, 2) for i in range(8)}
+        assert len(delays) > 1
+
+    def test_exponential_growth_and_cap(self):
+        policy = ResiliencePolicy(
+            backoff_base=0.1, backoff_cap=0.4, jitter=0.0
+        )
+        assert policy.backoff_delay(0, 0, 2) == pytest.approx(0.1)
+        assert policy.backoff_delay(0, 0, 3) == pytest.approx(0.2)
+        assert policy.backoff_delay(0, 0, 4) == pytest.approx(0.4)
+        assert policy.backoff_delay(0, 0, 7) == pytest.approx(0.4)  # capped
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = ResiliencePolicy(backoff_base=1.0, backoff_cap=1.0, jitter=0.25)
+        for index in range(16):
+            delay = policy.backoff_delay(index, 1, 2)
+            assert 1.0 <= delay <= 1.25
+
+
+class TestFailureTypes:
+    def test_trial_failure_repr_excludes_elapsed(self):
+        failure = TrialFailure(
+            x=3, seed=1, error=TrialTimeoutError("boom"),
+            attempt=2, elapsed=1.2345,
+        )
+        assert repr(failure) == "TrialFailure(x=3, seed=1, attempt=2: boom)"
+        assert "1.2345" not in repr(failure)
+
+    def test_trial_timeout_is_a_trial_failure(self):
+        timeout = TrialTimeout(
+            x=4, seed=0, error=TrialTimeoutError("slow", timeout=2.0),
+            attempt=1, timeout=2.0,
+        )
+        assert isinstance(timeout, TrialFailure)
+        assert repr(timeout) == (
+            "TrialTimeout(x=4, seed=0, attempt=1, timeout=2.0: slow)"
+        )
+
+    def test_timeout_error_pickles_with_fields(self):
+        error = TrialTimeoutError("slow", timeout=2.5, attempts=3)
+        clone = pickle.loads(pickle.dumps(error))
+        assert (clone.timeout, clone.attempts) == (2.5, 3)
+
+    def test_worker_crash_error_pickles_with_fields(self):
+        error = WorkerCrashError("dead", exitcode=-9, attempts=2)
+        clone = pickle.loads(pickle.dumps(error))
+        assert (clone.exitcode, clone.attempts) == (-9, 2)
+
+    def test_sweep_point_counts_timeouts(self):
+        point = SweepPoint(x=3)
+        point.failures.append(
+            TrialFailure(x=3, seed=0, error=TrialTimeoutError("x"))
+        )
+        point.failures.append(
+            TrialTimeout(x=3, seed=1, error=TrialTimeoutError("y"))
+        )
+        assert point.failed == 2
+        assert point.timeouts == 1
+
+    def test_failures_of_sorts_by_x_then_seed(self):
+        def failure(x, seed):
+            return TrialFailure(x=x, seed=seed, error=TrialTimeoutError("e"))
+
+        late = SweepPoint(x=9, failures=[failure(9, 1), failure(9, 0)])
+        early = SweepPoint(x=2, failures=[failure(2, 5)])
+        ordered = failures_of([late, early])
+        assert [(f.x, f.seed) for f in ordered] == [(2, 5), (9, 0), (9, 1)]
+
+
+class TestInProcessPolicy:
+    def test_jobs1_policy_adds_provenance(self):
+        points = sweep(
+            [3],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            policy=ResiliencePolicy(),
+        )
+        assert points[0].runs[0].attempt == 1
+
+    def test_jobs1_failure_carries_attempt_and_elapsed(self):
+        points = sweep(
+            [6],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=TIGHT,
+            policy=ResiliencePolicy(),
+        )
+        failure = points[0].failures[0]
+        assert failure.attempt == 1
+        assert failure.elapsed > 0
+
+
+class TestSupervisedExecutor:
+    def test_worker_kill_retried_to_success(self, tmp_path):
+        make_scenario = partial(
+            chaos_helpers.kill_once_tdown,
+            marker_dir=str(tmp_path),
+            kill_key=(3, 0),
+        )
+        points = sweep(
+            [3],
+            make_scenario,
+            MAKE_CONFIG,
+            seeds=(0, 1),
+            settings=SETTINGS,
+            jobs=2,
+            policy=ResiliencePolicy(max_retries=2, trial_timeout=SLACK),
+        )
+        assert points[0].succeeded == 2
+        attempts = {run.seed: run.attempt for run in points[0].runs}
+        assert attempts[0] == 2  # the killed trial was re-run
+        assert attempts[1] == 1
+        report = last_report()
+        assert report.worker_deaths == 1
+        assert report.worker_restarts == 1
+        assert report.retries == 1
+        assert report.exhausted == 0
+        assert report.metrics.counter("resilience.worker_deaths") == 1
+
+    def test_hung_trial_times_out_and_is_recorded(self):
+        points = sweep(
+            [3],
+            chaos_helpers.hang_always_tdown,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            jobs=2,
+            policy=ResiliencePolicy(
+                max_retries=0, trial_timeout=SNAP, backoff_base=0.01
+            ),
+        )
+        assert points[0].succeeded == 0
+        assert points[0].timeouts == 1
+        failure = points[0].failures[0]
+        assert isinstance(failure, TrialTimeout)
+        assert isinstance(failure.error, TrialTimeoutError)
+        assert failure.timeout == SNAP
+        assert failure.attempt == 1
+        assert failure.elapsed >= SNAP
+        assert last_report().timeouts == 1
+
+    def test_hang_once_then_success(self, tmp_path):
+        make_scenario = partial(
+            chaos_helpers.hang_once_tdown,
+            marker_dir=str(tmp_path),
+            hang_key=(3, 0),
+        )
+        points = sweep(
+            [3],
+            make_scenario,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            jobs=2,
+            policy=ResiliencePolicy(
+                max_retries=1, trial_timeout=SNAP, backoff_base=0.01
+            ),
+        )
+        assert points[0].succeeded == 1
+        assert points[0].runs[0].attempt == 2
+        report = last_report()
+        assert report.timeouts == 1
+        assert report.retries == 1
+        assert report.completed == 1
+
+    def test_exhausted_worker_crash_recorded(self):
+        points = sweep(
+            [3],
+            chaos_helpers.kill_always_tdown,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            jobs=2,
+            policy=ResiliencePolicy(
+                max_retries=1, backoff_base=0.01, trial_timeout=SLACK
+            ),
+        )
+        failure = points[0].failures[0]
+        assert isinstance(failure.error, WorkerCrashError)
+        assert failure.error.exitcode == -9
+        assert failure.attempt == 2
+        report = last_report()
+        assert report.worker_deaths == 2
+        assert report.exhausted == 1
+
+    def test_on_exhausted_raise_aborts_the_sweep(self):
+        with pytest.raises(TrialTimeoutError):
+            sweep(
+                [3],
+                chaos_helpers.hang_always_tdown,
+                MAKE_CONFIG,
+                seeds=(0,),
+                settings=SETTINGS,
+                jobs=2,
+                policy=ResiliencePolicy(
+                    max_retries=0, trial_timeout=SNAP, on_exhausted="raise"
+                ),
+            )
+
+    def test_simulation_failures_are_not_retried(self):
+        """Deterministic failures (budget exhaustion) must come back as
+        plain first-attempt TrialFailures — retrying them would waste
+        the whole backoff budget failing identically."""
+        points = sweep(
+            [3, 6],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=TIGHT,
+            jobs=2,
+            policy=ResiliencePolicy(max_retries=3, trial_timeout=SLACK),
+        )
+        assert [(p.succeeded, p.failed) for p in points] == [(1, 0), (0, 1)]
+        failure = points[1].failures[0]
+        assert failure.attempt == 1
+        assert last_report().retries == 0
+
+    def test_progress_callback_sees_every_trial(self):
+        seen = []
+        sweep(
+            [3, 4],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0, 1),
+            settings=SETTINGS,
+            jobs=2,
+            policy=ResiliencePolicy(trial_timeout=SLACK),
+            on_progress=seen.append,
+        )
+        assert len(seen) == 4
+        assert [p.done for p in seen] == [1, 2, 3, 4]
+        assert {(p.x, p.seed) for p in seen} == {
+            (3, 0), (3, 1), (4, 0), (4, 1),
+        }

@@ -1,0 +1,251 @@
+"""End-to-end chaos tests: SIGKILL + hang under supervision, and
+subprocess drivers killed (worker and driver) mid-sweep.
+
+The first class is the PR's acceptance scenario: a sweep that loses one
+worker to ``kill -9`` and one trial to a hang must still return complete
+SweepPoints whose digests are bit-identical to an undisturbed ``jobs=1``
+sweep.  The subprocess classes exercise the same guarantees from outside
+the process boundary, the way a batch host actually fails.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+import chaos_helpers
+from repro.bgp import BgpConfig
+from repro.experiments import (
+    ResiliencePolicy,
+    RunSettings,
+    SweepJournal,
+    clique_tdown_trial,
+    constant_config,
+    factory_ref,
+    last_report,
+    sweep,
+)
+
+FAST = BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05))
+SETTINGS = RunSettings(failure_guard=0.5)
+MAKE_CONFIG = factory_ref(constant_config, config=FAST)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+HELPERS = str(Path(__file__).resolve().parent)
+
+
+def digests(points):
+    return [run.fingerprint.digest for point in points for run in point.runs]
+
+
+class TestChaoticDigestEquivalence:
+    """The acceptance criterion, verbatim from the issue."""
+
+    def test_sigkill_and_hang_match_undisturbed_jobs1(self, tmp_path):
+        xs = [3, 4]
+        seeds = (0, 1)
+        baseline = sweep(
+            xs,
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=seeds,
+            settings=SETTINGS,
+            digests=True,
+        )
+        chaotic = sweep(
+            xs,
+            partial(
+                chaos_helpers.chaotic_tdown,
+                marker_dir=str(tmp_path),
+                kill_key=(3, 0),
+                hang_key=(4, 1),
+            ),
+            MAKE_CONFIG,
+            seeds=seeds,
+            settings=SETTINGS,
+            jobs=2,
+            digests=True,
+            policy=ResiliencePolicy(
+                max_retries=2, trial_timeout=1.5, backoff_base=0.01
+            ),
+        )
+        assert all(point.succeeded == 2 for point in chaotic)
+        assert all(point.failed == 0 for point in chaotic)
+        assert digests(chaotic) == digests(baseline)
+
+        attempts = {
+            (point.x, run.seed): run.attempt
+            for point in chaotic
+            for run in point.runs
+        }
+        assert attempts[(3, 0)] == 2  # worker was SIGKILLed once
+        assert attempts[(4, 1)] == 2  # trial hung past the watchdog once
+        assert attempts[(3, 1)] == 1
+        assert attempts[(4, 0)] == 1
+
+        report = last_report()
+        assert report.worker_deaths >= 1
+        assert report.timeouts >= 1
+        assert report.retries >= 2
+        assert report.exhausted == 0
+
+
+DRIVER = """\
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {helpers!r})
+
+from functools import partial
+
+import chaos_helpers
+from repro.bgp import BgpConfig
+from repro.experiments import (
+    ResiliencePolicy,
+    RunSettings,
+    checkpointed_sweep,
+    constant_config,
+    factory_ref,
+)
+
+summaries = checkpointed_sweep(
+    [3, 4],
+    partial(chaos_helpers.slow_tdown, delay_s={delay!r}),
+    factory_ref(
+        constant_config,
+        config=BgpConfig(mrai=1.0, processing_delay=(0.01, 0.05)),
+    ),
+    journal={journal!r},
+    seeds=(0, 1),
+    settings=RunSettings(failure_guard=0.5),
+    jobs=2,
+    policy=ResiliencePolicy(
+        max_retries=3, backoff_base=0.01, trial_timeout=60.0
+    ),
+)
+assert all(s.succeeded == 2 for s in summaries), summaries
+print("DRIVER-OK")
+"""
+
+
+def write_driver(tmp_path, journal, delay=0.8):
+    script = tmp_path / "driver.py"
+    script.write_text(
+        DRIVER.format(
+            src=SRC, helpers=HELPERS, journal=str(journal), delay=delay
+        ),
+        encoding="utf-8",
+    )
+    return script
+
+
+def child_pids_of(pid):
+    """Direct children of ``pid``, via /proc (Linux CI is a given here)."""
+    children = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        # field 4 (1-based) after the parenthesised comm is the ppid
+        after_comm = stat.rsplit(")", 1)[-1].split()
+        if len(after_comm) >= 2 and int(after_comm[1]) == pid:
+            children.append(int(entry.name))
+    return children
+
+
+@pytest.mark.skipif(sys.platform != "linux", reason="relies on /proc")
+class TestSubprocessChaos:
+    def wait_for_children(self, pid, deadline_s=15.0):
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            children = child_pids_of(pid)
+            if children:
+                return children
+            time.sleep(0.05)
+        return []
+
+    def test_worker_sigkill_from_outside_still_completes(self, tmp_path):
+        """Resume-after-SIGKILL-of-a-worker: an external ``kill -9`` on a
+        worker process must be absorbed by supervision — the driver still
+        exits 0 with a complete journal."""
+        journal = tmp_path / "sweep.jsonl"
+        script = write_driver(tmp_path, journal, delay=0.8)
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            workers = self.wait_for_children(proc.pid)
+            assert workers, "driver never spawned worker processes"
+            os.kill(workers[0], signal.SIGKILL)
+            output, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 0, output
+        assert "DRIVER-OK" in output
+        records, recovery = SweepJournal(journal).load()
+        assert set(records) == {(3, 0), (3, 1), (4, 0), (4, 1)}
+        assert all(record.ok for record in records.values())
+        assert recovery.clean
+
+    def test_driver_sigkill_then_resume_preserves_journal(self, tmp_path):
+        """``kill -9`` the *driver* mid-sweep; the rerun must trust every
+        journaled record and only execute the missing trials."""
+        journal = tmp_path / "sweep.jsonl"
+        script = write_driver(tmp_path, journal, delay=0.6)
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Let at least one trial land in the journal, then murder it.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if journal.exists() and journal.read_text(
+                    encoding="utf-8"
+                ).count("\n"):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("journal never received a record")
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        for worker in child_pids_of(proc.pid):  # no orphan leakage check
+            os.kill(worker, signal.SIGKILL)
+
+        partial_records, _ = SweepJournal(journal).load()
+        assert partial_records, "expected journaled trials before the kill"
+        before = {
+            key: record.metrics for key, record in partial_records.items()
+        }
+
+        rerun = subprocess.run(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            timeout=120,
+        )
+        assert rerun.returncode == 0, rerun.stdout
+        records, recovery = SweepJournal(journal).load()
+        assert set(records) == {(3, 0), (3, 1), (4, 0), (4, 1)}
+        assert recovery.clean
+        for key, metrics in before.items():
+            assert records[key].metrics == metrics  # journaled work kept

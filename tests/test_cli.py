@@ -273,3 +273,87 @@ class TestJobsFlag:
         captured = capsys.readouterr()
         assert code == 0
         assert "--jobs" in captured.err
+
+
+class TestSweepCommand:
+    def test_basic_sweep_prints_journal_and_table(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        code = main(
+            [
+                "sweep", "--sizes", "3", "--trials", "1",
+                "--mrai", "1.0", "--journal", str(journal),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "journal:" in out
+        assert "size" in out and "ok" in out
+        assert journal.exists()
+
+    def test_resume_reuses_journaled_trials(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        assert main(
+            [
+                "sweep", "--sizes", "3", "--trials", "1",
+                "--mrai", "1.0", "--journal", str(journal),
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "sweep", "--sizes", "3,4", "--trials", "1",
+                "--mrai", "1.0", "--journal", str(journal), "--resume",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The x=3 trial came back from the journal, not a re-run.
+        assert "journal: 1 trial record(s) loaded" in out
+
+    def test_sweep_with_resilience_flags_reports_supervision(
+        self, tmp_path, capsys
+    ):
+        journal = tmp_path / "sweep.jsonl"
+        code = main(
+            [
+                "sweep", "--sizes", "3", "--trials", "1", "--mrai", "1.0",
+                "--journal", str(journal), "--jobs", "2",
+                "--retries", "1", "--trial-timeout", "60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resilience:" in out
+
+    def test_bad_sizes_rejected(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--sizes", ",", "--journal", str(tmp_path / "j.jsonl")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_figure_accepts_retries(self, capsys):
+        code = main(
+            ["figure", "fig4a", "--quick", "--jobs", "2", "--retries", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig4a" in out
+
+    def test_theory_notes_ignored_resilience_flags(self, capsys):
+        code = main(["figure", "theory", "--quick", "--retries", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "--retries" in captured.err
+
+    def test_determinism_with_policy(self, capsys):
+        code = main(
+            [
+                "determinism", "--size", "3", "--runs", "3",
+                "--jobs", "2", "--retries", "1",
+            ]
+        )
+        assert code == 0
+        assert "IDENTICAL" in capsys.readouterr().out
