@@ -12,6 +12,12 @@ Two prongs guard the repository's reproducibility contract:
   net, and BGP layers through a lightweight invariant-hook API; plus
   :mod:`repro.analysis.determinism`, the dual-run harness that proves a
   scenario bit-for-bit reproducible under a fixed seed.
+
+A third prong reasons about *protocol* correctness rather than simulator
+correctness: :mod:`repro.analysis.stability` decides statically — via
+dispute-wheel search and Gao-Rexford structural checks — whether a
+scenario's policies can oscillate forever, before a single event is
+scheduled.
 """
 
 from .determinism import (
@@ -30,20 +36,42 @@ from .sanitizers import (
     SanitizerSuite,
     build_suite,
 )
+from .stability import (
+    DisputeWheel,
+    PermittedPath,
+    PolicyGraph,
+    SearchLimits,
+    StabilityReport,
+    Verdict,
+    certify,
+    certify_scenario,
+    extract_policy_graph,
+    find_dispute_wheel,
+)
 
 __all__ = [
     "CausalitySanitizer",
     "DeterminismReport",
+    "DisputeWheel",
     "FifoSanitizer",
     "InvariantHooks",
     "LintViolation",
+    "PermittedPath",
+    "PolicyGraph",
     "RULES",
     "RibCoherenceSanitizer",
     "RunFingerprint",
     "SANITIZER_NAMES",
     "SanitizerSuite",
+    "SearchLimits",
+    "StabilityReport",
+    "Verdict",
     "build_suite",
+    "certify",
+    "certify_scenario",
     "check_determinism",
+    "extract_policy_graph",
+    "find_dispute_wheel",
     "fingerprint_run",
     "lint_paths",
     "lint_source",

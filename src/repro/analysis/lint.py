@@ -40,6 +40,15 @@ Rules (each violation carries the rule's short name):
     and duplicate the per-path hash/frozenset work; obtain paths through
     ``AsPath.of()`` / ``intern_path()`` or the path algebra methods,
     which always return canonical instances.
+``stateful-policy-hook`` (REP107)
+    No assignments to ``self.*`` (and no ``global`` declarations) inside
+    the decision hooks (``accept_import``, ``local_pref``,
+    ``preference_key``, ``accept_export``) of a ``RoutingPolicy``
+    subclass.  The policy contract says hooks are pure functions of their
+    arguments; hook-local mutable state breaks the decision cache, the
+    static stability analyzer (which assumes re-querying a hook is
+    side-effect free), and cross-run determinism.  Configure state in
+    ``__init__`` instead.
 
 A line may opt out with a justification comment::
 
@@ -53,7 +62,7 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -79,6 +88,11 @@ RULES: Dict[str, Tuple[str, str]] = {
         "REP106",
         "direct AsPath(...) construction bypasses the intern table; use "
         "AsPath.of() / intern_path()",
+    ),
+    "stateful-policy-hook": (
+        "REP107",
+        "policy decision hook mutates state; hooks must be pure functions "
+        "of their arguments (configure in __init__)",
     ),
 }
 
@@ -135,6 +149,11 @@ _MUTABLE_CONSTRUCTORS = frozenset({
     "list", "dict", "set", "defaultdict", "Counter", "deque", "OrderedDict",
 })
 
+#: The RoutingPolicy decision hooks bound by the purity contract (REP107).
+_POLICY_HOOKS = frozenset({
+    "accept_import", "local_pref", "preference_key", "accept_export",
+})
+
 _TIMEY_NAME = re.compile(r"^(now|_now|time|timestamp|.*_time|.*_now)$")
 
 _ALLOW_COMMENT = re.compile(r"#\s*lint:\s*allow\(([a-z0-9_,\s-]+)\)")
@@ -142,7 +161,13 @@ _ALLOW_COMMENT = re.compile(r"#\s*lint:\s*allow\(([a-z0-9_,\s-]+)\)")
 
 @dataclass(frozen=True)
 class LintViolation:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``suppressed`` is True for findings neutralized by a
+    ``# lint: allow(rule)`` comment; they are excluded from default
+    output and never affect the exit code, but ``--format json`` can
+    surface them so CI diffs see the full picture.
+    """
 
     rule: str
     code: str
@@ -150,9 +175,25 @@ class LintViolation:
     line: int
     col: int
     message: str
+    suppressed: bool = False
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.rule}] {self.message}"
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"[{self.rule}] {self.message}{tag}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
 
 
 def _dotted_name(node: ast.AST) -> Optional[str]:
@@ -488,6 +529,65 @@ class _Linter(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
+    # ------------------------------------------------------------------
+    # Policy-hook purity (REP107)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_policy_class(node: ast.ClassDef) -> bool:
+        """True when any base class name ends in ``Policy``.
+
+        Syntactic by design (no type resolution): the convention in this
+        codebase is that every RoutingPolicy descendant keeps the suffix,
+        and the rule must work file-by-file without imports.
+        """
+        for base in node.bases:
+            dotted = _dotted_name(base)
+            if dotted is not None and dotted.split(".")[-1].endswith("Policy"):
+                return True
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_policy_class(node):
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name in _POLICY_HOOKS
+                ):
+                    self._check_policy_hook(node.name, item)
+        self.generic_visit(node)
+
+    def _check_policy_hook(self, class_name: str, func: ast.AST) -> None:
+        hook = f"{class_name}.{func.name}()"
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Global):
+                self.report(
+                    "stateful-policy-hook",
+                    sub,
+                    f"{hook} declares global {', '.join(sub.names)}; policy "
+                    f"hooks must be pure functions of their arguments",
+                )
+                continue
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                targets = [sub.target]
+            else:
+                continue
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if (
+                        isinstance(leaf, ast.Attribute)
+                        and isinstance(leaf.value, ast.Name)
+                        and leaf.value.id == "self"
+                    ):
+                        self.report(
+                            "stateful-policy-hook",
+                            leaf,
+                            f"{hook} assigns self.{leaf.attr}; policy hooks "
+                            f"must be pure — configure state in __init__",
+                        )
+
 
 def _prescan_set_attrs(tree: ast.Module, tracker: _SetTypeTracker) -> None:
     """Collect ``self.<attr> = set(...)`` targets across the whole module.
@@ -514,8 +614,16 @@ def _suppressed_rules_by_line(source: str) -> Dict[int, Set[str]]:
     return suppressed
 
 
-def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
-    """Lint one module's source text; returns violations in line order."""
+def lint_source(
+    source: str, path: str = "<string>", keep_suppressed: bool = False
+) -> List[LintViolation]:
+    """Lint one module's source text; returns violations in line order.
+
+    By default, findings neutralized by a ``# lint: allow(rule)`` comment
+    are dropped.  With ``keep_suppressed=True`` they are returned too,
+    flagged with ``suppressed=True`` — callers deciding an exit code must
+    then filter on the flag themselves.
+    """
     tree = ast.parse(source, filename=path)
     posix = Path(path).as_posix()
     exempt = {
@@ -527,11 +635,13 @@ def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
     _prescan_set_attrs(tree, linter.sets)
     linter.visit(tree)
     suppressed = _suppressed_rules_by_line(source)
-    kept = [
-        v
-        for v in linter.violations
-        if v.rule not in suppressed.get(v.line, ())
-    ]
+    kept: List[LintViolation] = []
+    for violation in linter.violations:
+        if violation.rule in suppressed.get(violation.line, ()):
+            if keep_suppressed:
+                kept.append(replace(violation, suppressed=True))
+        else:
+            kept.append(violation)
     return sorted(kept, key=lambda v: (v.line, v.col, v.code))
 
 
@@ -547,9 +657,17 @@ def iter_python_files(paths: Iterable[str]) -> List[Path]:
     return found
 
 
-def lint_paths(paths: Iterable[str]) -> List[LintViolation]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+def lint_paths(
+    paths: Iterable[str], keep_suppressed: bool = False
+) -> List[LintViolation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    Output order is deterministic regardless of filesystem enumeration:
+    sorted by (path, line, col, code).
+    """
     violations: List[LintViolation] = []
     for file in iter_python_files(paths):
-        violations.extend(lint_source(file.read_text(), str(file)))
-    return violations
+        violations.extend(
+            lint_source(file.read_text(), str(file), keep_suppressed)
+        )
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.code))

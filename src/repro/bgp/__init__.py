@@ -14,6 +14,7 @@ from .mrai import DEFAULT_JITTER, DEFAULT_MRAI, MraiManager
 from .path import AsPath, intern_path
 from .policy import (
     NoTransitForPrefix,
+    PathRankPolicy,
     PreferNeighbor,
     RoutingPolicy,
     ShortestPathPolicy,
@@ -50,6 +51,7 @@ __all__ = [
     "NOTHING_SENT",
     "NoTransitForPrefix",
     "Open",
+    "PathRankPolicy",
     "Prefix",
     "PreferNeighbor",
     "Relationship",

@@ -9,8 +9,9 @@ the library is usable beyond the paper's scenarios.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
+from ..errors import ConfigError
 from .messages import Prefix
 from .route import DEFAULT_LOCAL_PREF, Route
 
@@ -102,3 +103,72 @@ class PreferNeighbor(RoutingPolicy):
         if neighbor == self._neighbor:
             return base + self._boost
         return base
+
+
+class PathRankPolicy(RoutingPolicy):
+    """An explicit ranked-path-list policy — the Stable Paths Problem form.
+
+    The stability literature (Griffin–Shepherd–Wilfong's SPP, and the
+    DISAGREE / BAD-GADGET / wedgie gadgets built on it) specifies each
+    node's policy as an ordered list of *permitted* paths to the
+    destination: anything off the list is filtered, and among permitted
+    paths the earlier one always wins regardless of length.  This class
+    realizes that spec over the standard policy hooks, so the deliberately
+    unsafe gadget scenarios run on the unmodified speaker.
+
+    ``ranked`` is the permitted list in *node-path* notation, best first:
+    each entry starts at ``node`` itself and ends at the destination, e.g.
+    ``PathRankPolicy(1, [(1, 2, 0), (1, 0)])`` — node 1 prefers the route
+    through 2 over its direct route to 0.  Routes for other prefixes are
+    untouched (accepted, default preference).
+
+    All hooks are pure lookups into state fixed at construction (REP107).
+    """
+
+    _RANK_STRIDE = 10_000
+
+    def __init__(
+        self,
+        node: int,
+        ranked: Sequence[Sequence[int]],
+        prefix: Prefix = "dest",
+    ) -> None:
+        self._node = node
+        self._prefix = prefix
+        rank_of = {}
+        for rank, node_path in enumerate(ranked):
+            steps = tuple(int(n) for n in node_path)
+            if not steps or steps[0] != node:
+                raise ConfigError(
+                    f"ranked path {steps} must start at node {node}"
+                )
+            if len(set(steps)) != len(steps):
+                raise ConfigError(f"ranked path {steps} repeats a node")
+            stored = steps[1:]  # as held in the RIB: own head stripped
+            if not stored:
+                raise ConfigError(
+                    f"ranked path {steps} has no next hop; local origination "
+                    f"is implicit and never ranked"
+                )
+            if stored in rank_of:
+                raise ConfigError(f"ranked path {steps} listed twice")
+            rank_of[stored] = rank
+        self._rank_of = rank_of
+
+    def accept_import(self, neighbor: int, route: Route) -> bool:
+        del neighbor
+        if route.prefix != self._prefix:
+            return True
+        return route.path.ases in self._rank_of
+
+    def local_pref(self, neighbor: int, route: Route) -> int:
+        del neighbor
+        if route.prefix != self._prefix:
+            return DEFAULT_LOCAL_PREF
+        rank = self._rank_of.get(route.path.ases)
+        if rank is None:
+            return DEFAULT_LOCAL_PREF
+        # Strictly decreasing in rank, so the default preference key
+        # (-local_pref first) reproduces the list order exactly; the
+        # stride keeps every ranked path above any unranked default.
+        return self._RANK_STRIDE - rank

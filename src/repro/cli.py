@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands::
+Nine subcommands::
 
     repro run          # one experiment: topology + event + variant -> metrics
     repro figure       # regenerate one paper figure as an ASCII table
@@ -10,6 +10,7 @@ Eight subcommands::
     repro lint         # determinism lint pass over the simulator's sources
     repro determinism  # dual-run reproducibility check on one scenario
     repro metrics      # one traced run: telemetry table + timeline exports
+    repro stability    # static safety certification of the bundled scenarios
 
 Also reachable as ``python -m repro``.  Every command is deterministic for
 a given ``--seed`` — and ``repro determinism`` proves it.  ``figure``,
@@ -305,6 +306,49 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths", nargs="*",
         help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help=(
+            "output format; json additionally lists findings neutralized "
+            "by lint:allow comments (flagged suppressed) so CI can diff "
+            "the full picture"
+        ),
+    )
+
+    stability = commands.add_parser(
+        "stability",
+        help=(
+            "statically certify policy stability (dispute wheels, "
+            "Gao-Rexford structure) for the bundled scenario suite"
+        ),
+    )
+    stability.add_argument(
+        "names", nargs="*",
+        help="suite scenarios to certify (default: the whole suite)",
+    )
+    stability.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    stability.add_argument(
+        "--check", metavar="PATH", default=None,
+        help=(
+            "compare verdicts against a committed expected-verdicts JSON "
+            "file and exit 1 on any mismatch (the CI gate)"
+        ),
+    )
+    stability.add_argument(
+        "--observe", action="store_true",
+        help=(
+            "additionally simulate each UNSAFE scenario to a fixed horizon "
+            "and report the dynamic classification (converged / "
+            "persistent-oscillation), cross-checking the static verdict"
+        ),
+    )
+    stability.add_argument(
+        "--seed", type=int, default=0,
+        help="root RNG seed for --observe runs (default: 0)",
     )
 
     determinism = commands.add_parser(
@@ -608,6 +652,8 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json
+
     from .analysis import lint_paths
 
     paths = args.paths
@@ -616,13 +662,101 @@ def _cmd_lint(args) -> int:
         # checkout (src/repro) and from anywhere else via __file__.
         checkout = Path("src") / "repro"
         paths = [str(checkout if checkout.is_dir() else Path(__file__).parent)]
-    violations = lint_paths(paths)
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        print(f"\n{len(violations)} determinism violation(s) found")
-        return 1
-    print(f"lint clean: no determinism violations in {', '.join(paths)}")
+    as_json = args.format == "json"
+    violations = lint_paths(paths, keep_suppressed=as_json)
+    unsuppressed = [v for v in violations if not v.suppressed]
+    if as_json:
+        payload = {
+            "paths": list(paths),
+            "violations": [v.to_json() for v in violations],
+            "unsuppressed": len(unsuppressed),
+            "suppressed": len(violations) - len(unsuppressed),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        if unsuppressed:
+            print(f"\n{len(unsuppressed)} determinism violation(s) found")
+        else:
+            print(
+                f"lint clean: no determinism violations in {', '.join(paths)}"
+            )
+    return 1 if unsuppressed else 0
+
+
+def _cmd_stability(args) -> int:
+    import json
+
+    from .analysis.stability import Verdict, certify_scenario
+    from .experiments import observe_oscillation, stability_suite
+
+    suite = stability_suite()
+    by_name = {entry.name: entry for entry in suite}
+    names = list(args.names) or [entry.name for entry in suite]
+    unknown = sorted(set(names) - set(by_name))
+    if unknown:
+        raise ReproError(
+            f"unknown scenario(s): {', '.join(unknown)}; "
+            f"available: {', '.join(entry.name for entry in suite)}"
+        )
+    reports = []
+    for name in names:
+        entry = by_name[name]
+        reports.append(
+            (
+                entry,
+                certify_scenario(
+                    entry.scenario, policy_factory=entry.policy_factory
+                ),
+            )
+        )
+    observations = {}
+    if args.observe:
+        for entry, report in reports:
+            if report.verdict is Verdict.UNSAFE:
+                observations[entry.name] = observe_oscillation(
+                    entry, seed=args.seed, certify=False
+                )
+    if args.format == "json":
+        payload = {
+            "verdicts": {report.name: report.to_json() for _, report in reports}
+        }
+        if observations:
+            payload["observations"] = {
+                name: observations[name].to_json()
+                for name in sorted(observations)
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        for entry, report in reports:
+            print(report.render())
+            observed = observations.get(entry.name)
+            if observed is not None:
+                for line in observed.render().splitlines():
+                    print(f"  {line}")
+    if args.check:
+        expected = json.loads(Path(args.check).read_text())
+        mismatches = []
+        for _, report in reports:
+            want = expected.get(report.name)
+            if want is None:
+                mismatches.append(f"{report.name}: not present in {args.check}")
+            elif (
+                want.get("verdict") != report.verdict.value
+                or want.get("method") != report.method
+            ):
+                mismatches.append(
+                    f"{report.name}: expected "
+                    f"{want.get('verdict')}[{want.get('method')}], got "
+                    f"{report.verdict.value}[{report.method}]"
+                )
+        if mismatches:
+            print(f"\nverdict drift against {args.check}:")
+            for line in mismatches:
+                print(f"  {line}")
+            return 1
+        print(f"\nall {len(reports)} verdict(s) match {args.check}")
     return 0
 
 
@@ -732,6 +866,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "determinism": _cmd_determinism,
         "metrics": _cmd_metrics,
+        "stability": _cmd_stability,
     }
     try:
         return handlers[args.command](args)

@@ -49,6 +49,14 @@ class RunSettings:
         exportable as JSONL or Chrome trace JSON).  Implies ``telemetry``
         behavior for the probe; off by default because traced runs hold
         every FIB-change/MRAI instant in memory.
+    certify:
+        Statically certify the scenario's policy stability (dispute-wheel
+        search / structural safety, see :mod:`repro.analysis.stability`)
+        before simulating, and attach the
+        :class:`~repro.analysis.stability.StabilityReport` to the
+        returned run as provenance.  Purely static — zero events are
+        scheduled by certification, and the verdict is outside the
+        determinism fingerprint, so digests are identical on or off.
     """
 
     packet_rate: float = DEFAULT_PACKET_RATE
@@ -59,6 +67,7 @@ class RunSettings:
     sanitize: bool = False
     telemetry: bool = False
     timeline: bool = False
+    certify: bool = False
 
     def __post_init__(self) -> None:
         if self.packet_rate <= 0:

@@ -439,6 +439,146 @@ class TestUninternedAsPathRule:
         assert violations == []
 
 
+class TestStatefulPolicyHookRule:
+    def test_self_assignment_in_hook_flagged(self):
+        violations = lint(
+            """
+            class CachingPolicy(RoutingPolicy):
+                def accept_import(self, neighbor, route):
+                    self._last = route
+                    return True
+            """
+        )
+        assert rules_of(violations) == ["stateful-policy-hook"]
+
+    def test_every_hook_name_is_covered(self):
+        for hook in (
+            "accept_import", "local_pref", "preference_key", "accept_export"
+        ):
+            violations = lint(
+                f"""
+                class P(RoutingPolicy):
+                    def {hook}(self, *args):
+                        self.calls = 1
+                        return True
+                """
+            )
+            assert rules_of(violations) == ["stateful-policy-hook"], hook
+
+    def test_augmented_and_subscript_mutation_flagged(self):
+        violations = lint(
+            """
+            class CountingPolicy(GaoRexfordPolicy):
+                def local_pref(self, neighbor, route):
+                    self._hits += 1
+                    return 100
+
+                def accept_export(self, neighbor, route):
+                    self._cache[route.prefix] = route
+                    return True
+            """
+        )
+        assert rules_of(violations) == [
+            "stateful-policy-hook", "stateful-policy-hook",
+        ]
+
+    def test_global_declaration_in_hook_flagged(self):
+        violations = lint(
+            """
+            class P(RoutingPolicy):
+                def preference_key(self, route):
+                    global CALLS
+                    return (0,)
+            """
+        )
+        assert rules_of(violations) == ["stateful-policy-hook"]
+
+    def test_init_and_helpers_may_assign_state(self):
+        violations = lint(
+            """
+            class P(RoutingPolicy):
+                def __init__(self, prefix):
+                    self._prefix = prefix
+
+                def rebuild(self):
+                    self._table = {}
+
+                def accept_import(self, neighbor, route):
+                    return route.prefix == self._prefix
+            """
+        )
+        assert violations == []
+
+    def test_non_policy_class_hooks_are_not_bound(self):
+        violations = lint(
+            """
+            class Recorder:
+                def accept_import(self, neighbor, route):
+                    self.seen = route
+                    return True
+            """
+        )
+        assert violations == []
+
+    def test_local_variables_in_hooks_allowed(self):
+        violations = lint(
+            """
+            class P(ShortestPathPolicy):
+                def preference_key(self, route):
+                    rank = route.hop_count
+                    return (rank,)
+            """
+        )
+        assert violations == []
+
+    def test_allow_comment_suppresses(self):
+        violations = lint(
+            """
+            class P(RoutingPolicy):
+                def accept_import(self, neighbor, route):
+                    self._n = 1  # lint: allow(stateful-policy-hook) -- test double
+                    return True
+            """
+        )
+        assert violations == []
+
+
+class TestSuppressedFindings:
+    SOURCE = """
+        def same_instant(a, b):
+            return a.time == b.time  # lint: allow(float-time-eq) -- grouping
+        """
+
+    def test_dropped_by_default(self):
+        assert lint(self.SOURCE) == []
+
+    def test_kept_and_marked_when_requested(self):
+        import textwrap
+
+        from repro.analysis import lint_source
+
+        (violation,) = lint_source(
+            textwrap.dedent(self.SOURCE), "module.py", keep_suppressed=True
+        )
+        assert violation.suppressed
+        assert violation.rule == "float-time-eq"
+        assert violation.render().endswith("(suppressed)")
+
+    def test_to_json_carries_the_suppressed_flag(self):
+        import textwrap
+
+        from repro.analysis import lint_source
+
+        (violation,) = lint_source(
+            textwrap.dedent(self.SOURCE), "module.py", keep_suppressed=True
+        )
+        payload = violation.to_json()
+        assert payload["suppressed"] is True
+        assert payload["rule"] == "float-time-eq"
+        assert payload["code"] == "REP105"
+        assert payload["line"] == 3
+
+
 class TestSuppression:
     def test_allow_comment_suppresses_on_same_line(self):
         violations = lint(
@@ -469,6 +609,21 @@ class TestLintPaths:
         assert rules_of(violations) == ["wall-clock"]
         assert violations[0].path.endswith("bad.py")
         assert violations[0].line == 4
+
+    def test_findings_sorted_by_path_line_code(self, tmp_path):
+        (tmp_path / "b.py").write_text(
+            "import time\n"
+            "\n"
+            "def f(q=[]):\n"
+            "    return time.time()\n"
+        )
+        (tmp_path / "a.py").write_text("from random import choice\n")
+        violations = lint_paths([str(tmp_path)])
+        keys = [(v.path, v.line, v.col, v.code) for v in violations]
+        assert keys == sorted(keys)
+        assert [v.rule for v in violations] == [
+            "unseeded-random", "mutable-default", "wall-clock",
+        ]
 
     def test_render_mentions_rule_and_code(self, tmp_path):
         target = tmp_path / "bad.py"

@@ -96,12 +96,49 @@ class TestRelationshipsFromTiers:
         assert rel[4][7] == C  # smaller id is the provider
         assert rel[7][4] == P
 
+    def test_stub_to_stub_link_becomes_peering(self):
+        # Generated graphs never wire stub-stub, but hand-built ones may;
+        # neither stub can sell transit, so peering is the only sane tie.
+        topo = Topology.from_edges([(5, 6)])
+        rel = relationships_from_tiers(topo, {5: Tier.STUB, 6: Tier.STUB})
+        assert rel[5][6] == E == rel[6][5]
+
     def test_missing_tier_rejected(self):
         from repro.errors import ConfigError
 
         topo = Topology.from_edges([(0, 1)])
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError, match="missing from tier map"):
             relationships_from_tiers(topo, {0: Tier.CORE})
+
+    def test_missing_tier_on_either_endpoint_is_config_error(self):
+        # A hole in the tier map must surface as ConfigError, never as a
+        # raw KeyError leaking the implementation.
+        from repro.errors import ConfigError
+
+        topo = Topology.from_edges([(0, 1), (1, 2)])
+        for tiers in (
+            {1: Tier.TRANSIT, 2: Tier.STUB},          # first endpoint
+            {0: Tier.CORE, 1: Tier.TRANSIT},          # second endpoint
+            {},                                        # everything missing
+        ):
+            with pytest.raises(ConfigError):
+                relationships_from_tiers(topo, tiers)
+
+    def test_unknown_tier_label_is_config_error(self):
+        from repro.errors import ConfigError
+
+        topo = Topology.from_edges([(0, 1)])
+        with pytest.raises(ConfigError):
+            relationships_from_tiers(topo, {0: Tier.CORE, 1: "mezzanine"})
+
+    def test_isolated_nodes_get_empty_maps(self):
+        topo = Topology.from_edges([(0, 1)])
+        topo.add_node(7)
+        rel = relationships_from_tiers(
+            topo, {0: Tier.CORE, 1: Tier.STUB, 7: Tier.STUB}
+        )
+        assert rel[0][1] == C and rel[1][0] == P
+        assert rel[7] == {}
 
     def test_generated_graph_fully_covered(self):
         topo, tiers = internet_like_with_tiers(30, seed=2)

@@ -178,6 +178,120 @@ class TestLintCommand:
         assert code == 0
         assert "lint clean" in capsys.readouterr().out
 
+    def test_json_format_reports_structured_findings(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bad.py"
+        target.write_text("import time\n\ndef f():\n    return time.time()\n")
+        code = main(["lint", "--format", "json", str(target)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["unsuppressed"] == 1
+        (violation,) = payload["violations"]
+        assert violation["rule"] == "wall-clock"
+        assert violation["code"] == "REP101"
+        assert violation["line"] == 4
+        assert violation["suppressed"] is False
+
+    def test_json_keeps_suppressed_findings_but_exits_zero(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        target = tmp_path / "waived.py"
+        target.write_text(
+            "def same(a, b):\n"
+            "    return a.time == b.time"
+            "  # lint: allow(float-time-eq) -- grouping\n"
+        )
+        code = main(["lint", "--format", "json", str(target)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0  # suppressed findings are visible but not fatal
+        assert payload["suppressed"] == 1
+        assert payload["unsuppressed"] == 0
+        assert payload["violations"][0]["suppressed"] is True
+
+    def test_findings_print_in_deterministic_order(self, tmp_path, capsys):
+        (tmp_path / "b.py").write_text("from random import choice\n")
+        (tmp_path / "a.py").write_text("import time\nt = time.time()\n")
+        main(["lint", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert out.index("a.py") < out.index("b.py")
+
+    def test_rep107_finding_surfaces_through_the_cli(self, tmp_path, capsys):
+        target = tmp_path / "policy.py"
+        target.write_text(
+            "class P(RoutingPolicy):\n"
+            "    def accept_import(self, neighbor, route):\n"
+            "        self.seen = route\n"
+            "        return True\n"
+        )
+        code = main(["lint", str(target)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP107" in out
+        assert "stateful-policy-hook" in out
+
+
+class TestStabilityCommand:
+    def test_certifies_named_gadget_with_certificate(self, capsys):
+        code = main(["stability", "bad-gadget"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "UNSAFE" in out
+        assert "dispute wheel" in out
+
+    def test_safe_scenario_names_the_method(self, capsys):
+        code = main(["stability", "tdown-clique-5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SAFE" in out
+        assert "shortest-path" in out
+
+    def test_json_format_carries_the_wheel(self, capsys):
+        import json
+
+        code = main(["stability", "disagree", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        report = payload["verdicts"]["disagree"]
+        assert report["verdict"] == "unsafe"
+        assert sorted(report["wheel"]["rim"]) == [1, 2]
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        code = main(["stability", "no-such-gadget"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_check_against_committed_verdicts(self, capsys):
+        code = main(
+            ["stability", "--check",
+             "benchmarks/baselines/STABILITY_verdicts.json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all 7 verdict(s) match" in out
+
+    def test_check_flags_drift(self, tmp_path, capsys):
+        import json
+
+        stale = tmp_path / "expected.json"
+        stale.write_text(
+            json.dumps(
+                {"disagree": {"verdict": "safe", "method": "no-dispute-wheel"}}
+            )
+        )
+        code = main(["stability", "disagree", "--check", str(stale)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "verdict drift" in out
+
+    def test_observe_runs_the_unsafe_scenarios(self, capsys):
+        code = main(["stability", "bad-gadget", "--observe"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "persistent-oscillation" in out
+
 
 class TestDeterminismCommand:
     def test_dual_run_on_small_clique_is_identical(self, capsys):
