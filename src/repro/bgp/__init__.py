@@ -8,9 +8,25 @@ variant registry (:func:`variant` / :data:`VARIANT_NAMES`).
 from .config import DEFAULT_PROCESSING_DELAY, BgpConfig
 from .damping import DampingConfig, RouteFlapDamper
 from .decision import DecisionProcess
-from .messages import Announcement, Keepalive, Open, Prefix, Withdrawal, is_update
+from .aggregation import AggregateBlock, prefix_population
+from .messages import (
+    Announcement,
+    Keepalive,
+    Open,
+    Prefix,
+    UpdateBatch,
+    Withdrawal,
+    is_update,
+)
 from .session import SessionManager
-from .mrai import DEFAULT_JITTER, DEFAULT_MRAI, MraiManager
+from .mrai import (
+    DEFAULT_JITTER,
+    DEFAULT_MRAI,
+    MRAI_MODES,
+    MRAI_PER_PEER,
+    MRAI_PER_PREFIX,
+    MraiManager,
+)
 from .path import AsPath, intern_path
 from .policy import (
     NoTransitForPrefix,
@@ -33,6 +49,7 @@ from .variants import VARIANT_NAMES, all_variants, combine, variant
 __all__ = [
     "AdjRibIn",
     "AdjRibOut",
+    "AggregateBlock",
     "Announcement",
     "AsPath",
     "BgpConfig",
@@ -47,6 +64,9 @@ __all__ = [
     "GaoRexfordPolicy",
     "Keepalive",
     "LocRib",
+    "MRAI_MODES",
+    "MRAI_PER_PEER",
+    "MRAI_PER_PREFIX",
     "MraiManager",
     "NOTHING_SENT",
     "NoTransitForPrefix",
@@ -61,6 +81,7 @@ __all__ = [
     "SentState",
     "SessionManager",
     "ShortestPathPolicy",
+    "UpdateBatch",
     "VARIANT_NAMES",
     "Withdrawal",
     "all_variants",
@@ -68,6 +89,7 @@ __all__ = [
     "is_update",
     "is_valley_free",
     "local_route",
+    "prefix_population",
     "relationships_from_tiers",
     "variant",
 ]

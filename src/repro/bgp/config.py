@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 from ..errors import ConfigError
 from .damping import DampingConfig
-from .mrai import DEFAULT_JITTER, DEFAULT_MRAI
+from .mrai import DEFAULT_JITTER, DEFAULT_MRAI, MRAI_MODES, MRAI_PER_PREFIX
 
 DEFAULT_PROCESSING_DELAY = (0.1, 0.5)
 """The paper's routing-message processing delay: uniform on [0.1 s, 0.5 s]."""
@@ -30,6 +30,14 @@ class BgpConfig:
         The Minimum Route Advertisement Interval M in seconds (0 disables).
     mrai_jitter:
         Multiplicative jitter range applied each time a timer is armed.
+    mrai_mode:
+        ``"per-prefix"`` (the paper's per-(destination, neighbor) timers —
+        the default) or ``"per-peer"`` (one timer per neighbor shared by
+        every prefix; expiry flushes all held prefixes in one round).
+    batch_updates:
+        Pack all same-instant updates toward one peer into a single
+        :class:`~repro.bgp.messages.UpdateBatch` (RFC 4271-style NLRI +
+        withdrawn lists) instead of one message per prefix.
     processing_delay:
         ``(low, high)`` of the uniform per-message CPU service time.
     wrate:
@@ -52,6 +60,8 @@ class BgpConfig:
 
     mrai: float = DEFAULT_MRAI
     mrai_jitter: Tuple[float, float] = DEFAULT_JITTER
+    mrai_mode: str = MRAI_PER_PREFIX
+    batch_updates: bool = False
     processing_delay: Tuple[float, float] = DEFAULT_PROCESSING_DELAY
     wrate: bool = False
     ssld: bool = False
@@ -69,6 +79,10 @@ class BgpConfig:
         low, high = self.mrai_jitter
         if not (0 < low <= high):
             raise ConfigError(f"mrai_jitter must satisfy 0 < low <= high: {self.mrai_jitter}")
+        if self.mrai_mode not in MRAI_MODES:
+            raise ConfigError(
+                f"mrai_mode must be one of {sorted(MRAI_MODES)}, got {self.mrai_mode!r}"
+            )
         lo, hi = self.processing_delay
         if not (0 <= lo <= hi):
             raise ConfigError(

@@ -13,7 +13,8 @@ but the speaker handles any number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Tuple
 
 from .path import AsPath
 
@@ -89,11 +90,80 @@ class Open:
         return f"Open[{'echo' if self.echo else 'syn'}]"
 
 
+@dataclass(frozen=True, slots=True)
+class UpdateBatch:
+    """One UPDATE carrying many prefixes (RFC 4271 packing).
+
+    Real UPDATEs carry a withdrawn-routes list plus one set of path
+    attributes shared by an NLRI list; this simulator variant generalizes
+    the NLRI side to per-prefix paths so one message can flush a whole
+    MRAI round.  Produced only when ``BgpConfig.batch_updates`` is on;
+    receivers unpack it into the ordinary per-prefix handlers (withdrawn
+    first, then NLRI), so batching changes message count and packing —
+    never routing outcomes.
+
+    Both tuples are sorted by prefix and duplicate-free, and a prefix never
+    appears on both sides — the sender's last-wins queue guarantees it and
+    ``__post_init__`` enforces it, which keeps the wire form canonical (and
+    digest-stable) no matter what order updates were queued in.
+    """
+
+    withdrawn: Tuple[Prefix, ...] = field(default=())
+    nlri: Tuple[Tuple[Prefix, AsPath], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.withdrawn and not self.nlri:
+            raise ValueError("an update batch must carry at least one route")
+        nlri_prefixes = tuple(prefix for prefix, _path in self.nlri)
+        if list(self.withdrawn) != sorted(set(self.withdrawn)):
+            raise ValueError(f"withdrawn list not canonical: {self.withdrawn!r}")
+        if list(nlri_prefixes) != sorted(set(nlri_prefixes)):
+            raise ValueError(f"nlri list not canonical: {nlri_prefixes!r}")
+        overlap = set(self.withdrawn) & set(nlri_prefixes)
+        if overlap:
+            raise ValueError(f"prefixes both withdrawn and announced: {sorted(overlap)}")
+        heads = {path.head for _prefix, path in self.nlri}
+        if len(heads) > 1:
+            raise ValueError(f"nlri paths name different senders: {sorted(heads)}")
+        for _prefix, path in self.nlri:
+            if path.is_empty:
+                raise ValueError("an update batch NLRI path must be non-empty")
+
+    @property
+    def size(self) -> int:
+        """Total routes carried (withdrawn + announced)."""
+        return len(self.withdrawn) + len(self.nlri)
+
+    @property
+    def sender(self) -> int:
+        """The advertising AS (head of any NLRI path).
+
+        Only defined for batches that announce something; pure-withdrawal
+        batches carry no path and the transport layer's ``src`` is
+        authoritative.
+        """
+        if not self.nlri:
+            raise ValueError("a pure-withdrawal batch has no embedded sender")
+        head = self.nlri[0][1].head
+        assert head is not None
+        return head
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.withdrawn:
+            parts.append(f"withdraw {list(self.withdrawn)}")
+        if self.nlri:
+            parts.append(
+                "announce " + ", ".join(f"{p} via {path!r}" for p, path in self.nlri)
+            )
+        return f"Batch[{'; '.join(parts)}]"
+
+
 def is_update(message: object) -> bool:
     """True for the messages that count toward convergence time.
 
     The paper measures convergence as "the time the last BGP update message
-    is sent"; both announcements and withdrawals are updates (OPENs and
-    KEEPALIVEs are not).
+    is sent"; announcements, withdrawals, and batched UPDATEs all count
+    (OPENs and KEEPALIVEs do not).
     """
-    return isinstance(message, (Announcement, Withdrawal))
+    return isinstance(message, (Announcement, Withdrawal, UpdateBatch))

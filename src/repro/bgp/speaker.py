@@ -26,6 +26,7 @@ reconstructs the forwarding graph over time.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import replace
 from typing import Callable, Dict, Optional, Set
 
@@ -35,7 +36,7 @@ from ..net import Node
 from .config import BgpConfig
 from .damping import RouteFlapDamper
 from .decision import DecisionProcess
-from .messages import Announcement, Keepalive, Open, Prefix, Withdrawal
+from .messages import Announcement, Keepalive, Open, Prefix, UpdateBatch, Withdrawal
 from .mrai import MraiManager
 from .session import SessionManager
 from .path import AsPath
@@ -109,6 +110,7 @@ class BgpSpeaker(Node):
             jitter=config.mrai_jitter,
             rng=streams.stream(f"mrai-jitter:{node_id}"),
             on_expiry=self._on_mrai_expiry,
+            mode=config.mrai_mode,
         )
         self.damper: Optional[RouteFlapDamper] = None
         if config.damping is not None:
@@ -133,6 +135,14 @@ class BgpSpeaker(Node):
         self.fib: Dict[Prefix, Optional[int]] = {}
         self._fib_listener = fib_listener
         self._route_listener = route_listener
+        # Batched-UPDATE send queue (config.batch_updates): per peer, the
+        # prefixes queued this instant, ``None`` meaning withdraw.  A
+        # same-instant flush event drains each peer's queue into one
+        # UpdateBatch; Adj-RIB-Out and counters are maintained at queue
+        # time, so all suppression logic sees the post-queue state.
+        self._pending_updates: Dict[int, Dict[Prefix, Optional[AsPath]]] = {}
+        self._flush_scheduled: Set[int] = set()
+        self.batches_sent = 0
         # Counters (diagnostics; the authoritative metric source is the
         # network-level MessageTrace).
         self.announcements_sent = 0
@@ -173,14 +183,23 @@ class BgpSpeaker(Node):
         self._run_decision(prefix)
 
     def start(self) -> None:
-        """Bring up sessions and advertise pre-configured originations."""
+        """Bring up sessions and advertise pre-configured originations.
+
+        The whole origination burst runs under per-peer MRAI flush windows
+        (no-ops in per-prefix mode): the initial table exchange goes out in
+        one round with the shared timer armed once, as deployed peer-based
+        implementations do, instead of one prefix per MRAI interval.
+        """
         if self.sessions is not None:
             for peer in self.neighbors:
                 self.sessions.establish(peer)
-        for prefix in sorted(self._origins):
-            self._run_decision(prefix)
+        with ExitStack() as stack:
             for peer in self.neighbors:
-                self._sync_peer(peer, prefix)
+                stack.enter_context(self.mrai.flush_window(peer))
+            for prefix in sorted(self._origins):
+                self._run_decision(prefix)
+                for peer in self.neighbors:
+                    self._sync_peer(peer, prefix)
 
     def best_route(self, prefix: Prefix) -> Optional[Route]:
         """The current Loc-RIB entry for ``prefix``."""
@@ -226,8 +245,22 @@ class BgpSpeaker(Node):
             self._handle_announcement(src, message)
         elif isinstance(message, Withdrawal):
             self._handle_withdrawal(src, message)
+        elif isinstance(message, UpdateBatch):
+            self._handle_batch(src, message)
         else:
             raise ProtocolError(f"unexpected message {message!r} from {src}")
+
+    def _handle_batch(self, src: int, batch: UpdateBatch) -> None:
+        """Unpack a batched UPDATE into the per-prefix handlers.
+
+        Withdrawn routes first, then NLRI — RFC 4271's processing order —
+        each through the exact code path an unbatched message takes, so
+        batching cannot change routing outcomes, only message packing.
+        """
+        for prefix in batch.withdrawn:
+            self._handle_withdrawal(src, Withdrawal(prefix=prefix))
+        for prefix, path in batch.nlri:
+            self._handle_announcement(src, Announcement(prefix=prefix, path=path))
 
     def _handle_announcement(self, src: int, message: Announcement) -> None:
         if message.sender != src:
@@ -310,6 +343,7 @@ class BgpSpeaker(Node):
         affected = self.adj_rib_in.drop_neighbor(neighbor)
         self.adj_rib_out.drop_neighbor(neighbor)
         self.mrai.cancel_peer(neighbor)
+        self._pending_updates.pop(neighbor, None)
         if self.damper is not None:
             self.damper.cancel_peer(neighbor)
         for prefix in affected:
@@ -319,8 +353,9 @@ class BgpSpeaker(Node):
         """Adjacency (re-)established: bring the session up, advertise."""
         if self.sessions is not None:
             self.sessions.establish(neighbor)
-        for prefix in self.loc_rib.prefixes():
-            self._sync_peer(neighbor, prefix)
+        with self.mrai.flush_window(neighbor):
+            for prefix in self.loc_rib.prefixes():
+                self._sync_peer(neighbor, prefix)
 
     def on_session_reset(self, neighbor: int) -> None:
         """The TCP session to ``neighbor`` died; the physical link is fine.
@@ -339,8 +374,9 @@ class BgpSpeaker(Node):
             self.sessions.start_reconnect(neighbor, immediate=True)
             return
         self._purge_neighbor(neighbor)
-        for prefix in self.loc_rib.prefixes():
-            self._sync_peer(neighbor, prefix)
+        with self.mrai.flush_window(neighbor):
+            for prefix in self.loc_rib.prefixes():
+                self._sync_peer(neighbor, prefix)
 
     def _send_keepalive_to(self, peer: int) -> None:
         """Session-layer callback; guards the physical link state."""
@@ -394,8 +430,9 @@ class BgpSpeaker(Node):
         The purge at session loss dropped the peer's Adj-RIB-Out record,
         so every Loc-RIB prefix re-advertises from scratch.
         """
-        for prefix in self.loc_rib.prefixes():
-            self._sync_peer(peer, prefix)
+        with self.mrai.flush_window(peer):
+            for prefix in self.loc_rib.prefixes():
+                self._sync_peer(peer, prefix)
 
     # ------------------------------------------------------------------
     # Whole-router fault injection
@@ -421,6 +458,8 @@ class BgpSpeaker(Node):
         if self.sessions is not None:
             self.sessions.shutdown()
         self.mrai.cancel_all()
+        self._pending_updates.clear()
+        self._flush_scheduled.clear()
         if self.damper is not None:
             for neighbor in sorted(self.network.topology.neighbors(self.node_id)):
                 self.damper.cancel_peer(neighbor)
@@ -619,7 +658,10 @@ class BgpSpeaker(Node):
         hooks = self.scheduler.invariants
         if hooks is not None:
             hooks.on_announcement(self, peer, prefix, path)
-        self.send(peer, Announcement(prefix=prefix, path=path))
+        if self.config.batch_updates:
+            self._queue_update(peer, prefix, path)
+        else:
+            self.send(peer, Announcement(prefix=prefix, path=path))
         self.adj_rib_out.record_announcement(peer, prefix, path)
         self.announcements_sent += 1
 
@@ -627,19 +669,75 @@ class BgpSpeaker(Node):
         hooks = self.scheduler.invariants
         if hooks is not None:
             hooks.on_withdrawal(self, peer, prefix)
-        self.send(peer, Withdrawal(prefix=prefix))
+        if self.config.batch_updates:
+            self._queue_update(peer, prefix, None)
+        else:
+            self.send(peer, Withdrawal(prefix=prefix))
         self.adj_rib_out.record_withdrawal(peer, prefix)
         self.withdrawals_sent += 1
 
-    def _on_mrai_expiry(self, peer: int, prefix: Prefix) -> None:
+    # ------------------------------------------------------------------
+    # Batched-UPDATE packing (config.batch_updates)
+    # ------------------------------------------------------------------
+
+    def _queue_update(self, peer: int, prefix: Prefix, path: Optional[AsPath]) -> None:
+        """Queue one route for the peer's next batch (last write wins).
+
+        The first queued route for a peer schedules a same-instant flush
+        event; every further same-instant update for the peer — including
+        later events at this timestamp — joins the same batch.  Because the
+        flush fires at the same simulation time the individual messages
+        would have been sent, batching only changes packing, never timing.
+        """
+        pending = self._pending_updates.setdefault(peer, {})
+        pending[prefix] = path
+        if peer not in self._flush_scheduled:
+            self._flush_scheduled.add(peer)
+            self.scheduler.call_at(
+                self.scheduler.now,
+                lambda p=peer: self._flush_updates(p),
+                name=f"batch-flush:{self.node_id}->{peer}",
+            )
+
+    def _flush_updates(self, peer: int) -> None:
+        """Drain the peer's queue into one canonical UpdateBatch."""
+        self._flush_scheduled.discard(peer)
+        pending = self._pending_updates.pop(peer, None)
+        if not pending or not self.alive:
+            return
+        if not self.link_is_up(peer):
+            return  # adjacency died this instant; the purge re-syncs later
+        if self.sessions is not None and not self.sessions.established(peer):
+            return
+        withdrawn = tuple(sorted(p for p, path in pending.items() if path is None))
+        nlri = tuple(
+            sorted((p, path) for p, path in pending.items() if path is not None)
+        )
+        self.send(peer, UpdateBatch(withdrawn=withdrawn, nlri=nlri))
+        self.batches_sent += 1
+
+    def _on_mrai_expiry(self, peer: int, prefix: Optional[Prefix]) -> None:
         telemetry = self.scheduler.telemetry
         if telemetry is not None:
             telemetry.on_mrai_expiry(
-                self.scheduler.now, self.node_id, peer, prefix
+                self.scheduler.now, self.node_id, peer,
+                prefix if prefix is not None else "*",
             )
         if not self.link_is_up(peer):
             return
-        self._sync_peer(peer, prefix)
+        if prefix is not None:
+            self._sync_peer(peer, prefix)
+            return
+        # Per-peer timer: one expiry releases every held prefix.  The flush
+        # window lets each _sync_peer send while re-arming the shared timer
+        # exactly once at the end (and only if something went out).
+        held_prefixes = sorted(
+            set(self.loc_rib.prefixes())
+            | set(self.adj_rib_out.advertised_prefixes(peer))
+        )
+        with self.mrai.flush_window(peer):
+            for held in held_prefixes:
+                self._sync_peer(peer, held)
 
     # ------------------------------------------------------------------
     # Invariants (exercised by the test suite)

@@ -61,6 +61,7 @@ from .experiments.figures import (
     figure9b,
     figure9c,
     figure9d,
+    figure_tagg,
     theory_bound_figure,
 )
 from .topology import (
@@ -90,6 +91,7 @@ FIGURES: Dict[str, Callable] = {
     "fig9b": figure9b,
     "fig9c": figure9c,
     "fig9d": figure9d,
+    "tagg": figure_tagg,
     "theory": theory_bound_figure,
 }
 
@@ -113,6 +115,9 @@ QUICK_FIGURE_KWARGS: Dict[str, dict] = {
     "fig9b": dict(sizes=(3, 4), mrai=2.0),
     "fig9c": dict(sizes=(12,), mrai=2.0, seeds=(0,)),
     "fig9d": dict(sizes=(12,), mrai=2.0, seeds=(0,)),
+    "tagg": dict(
+        prefix_counts=(8, 16), clique_size=4, origins=2, hold=5.0, mrai=2.0
+    ),
     "theory": dict(ring_sizes=(3, 4), mrai=2.0, seeds=(0,)),
 }
 

@@ -11,9 +11,9 @@ aggregates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..dataplane import DataPlaneReport
+from ..dataplane import DataPlaneReport, TrafficReport
 from .convergence import ConvergenceReport
 from .loop_detector import LoopInterval
 
@@ -26,6 +26,7 @@ class LoopStudyResult:
     dataplane: DataPlaneReport
     loop_intervals: List[LoopInterval] = field(default_factory=list)
     total_messages: int = 0
+    traffic: Optional[TrafficReport] = None
 
     # ------------------------------------------------------------------
     # The §4.2 metrics
@@ -81,9 +82,28 @@ class LoopStudyResult:
         """Sizes of all observed loop lifetimes."""
         return [i.size for i in self.loop_intervals]
 
+    # ------------------------------------------------------------------
+    # Traffic-weighted metrics (multi-prefix runs only)
+    # ------------------------------------------------------------------
+
+    @property
+    def traffic_looped_fraction(self) -> float:
+        """Fraction of offered traffic lost to loops (0 without a matrix)."""
+        return self.traffic.looped_fraction if self.traffic is not None else 0.0
+
+    @property
+    def traffic_blackholed_fraction(self) -> float:
+        """Fraction of offered traffic blackholed (0 without a matrix)."""
+        return self.traffic.blackholed_fraction if self.traffic is not None else 0.0
+
     def summary_row(self) -> Dict[str, float]:
-        """The metrics as a flat dict (for tables and aggregation)."""
-        return {
+        """The metrics as a flat dict (for tables and aggregation).
+
+        The traffic-weighted keys appear **only** when a traffic matrix was
+        evaluated: the row feeds the run digest, so single-prefix runs must
+        keep the exact key set (and bytes) they have always had.
+        """
+        row = {
             "convergence_time": self.convergence_time,
             "looping_duration": self.overall_looping_duration,
             "ttl_exhaustions": float(self.ttl_exhaustions),
@@ -92,3 +112,9 @@ class LoopStudyResult:
             "updates_sent": float(self.convergence.update_count),
             "distinct_loops": float(self.distinct_loop_count),
         }
+        if self.traffic is not None:
+            row["traffic_offered"] = float(self.traffic.offered)
+            row["traffic_looped_fraction"] = self.traffic.looped_fraction
+            row["traffic_blackholed_fraction"] = self.traffic.blackholed_fraction
+            row["traffic_delivered_fraction"] = self.traffic.delivered_fraction
+        return row

@@ -9,15 +9,29 @@ Two evaluation paths produce the same :class:`DataPlaneReport`:
 """
 
 from .epochs import DataPlaneReport, EpochEvaluator, LoopSighting
-from .fib import FibChange, FibChangeLog, ForwardingGraph
+from .fib import (
+    FibChange,
+    FibChangeLog,
+    ForwardingGraph,
+    MultiPrefixFib,
+    PrefixTrie,
+)
 from .packet import (
     DEFAULT_TTL,
     PacketFate,
     WalkResult,
     canonical_cycle,
     walk,
+    walk_lpm,
 )
-from .traffic import DEFAULT_PACKET_RATE, CbrSource, sources_for
+from .traffic import (
+    DEFAULT_PACKET_RATE,
+    CbrSource,
+    Flow,
+    TrafficMatrix,
+    sources_for,
+)
+from .traffic_eval import TrafficMatrixEvaluator, TrafficReport
 from .trajectory import FibLookup, PacketForwarder
 
 __all__ = [
@@ -29,12 +43,19 @@ __all__ = [
     "FibChange",
     "FibChangeLog",
     "FibLookup",
+    "Flow",
     "ForwardingGraph",
     "LoopSighting",
+    "MultiPrefixFib",
     "PacketFate",
     "PacketForwarder",
+    "PrefixTrie",
+    "TrafficMatrix",
+    "TrafficMatrixEvaluator",
+    "TrafficReport",
     "WalkResult",
     "canonical_cycle",
     "sources_for",
     "walk",
+    "walk_lpm",
 ]

@@ -16,11 +16,20 @@ Next-hop encoding, shared with :class:`~repro.bgp.speaker.BgpSpeaker`:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
 from ..errors import AnalysisError
+from ..prefixes import ADDRESS_BITS, PrefixSpec, parse_prefix
 
 Prefix = str
+
+Destination = Union[int, str]
+"""What a packet is addressed to: an integer address inside a structured
+prefix, or (for legacy opaque prefixes like ``"dest"``) the prefix string
+itself, matched exactly."""
+
+_parse = lru_cache(maxsize=None)(parse_prefix)
 
 
 @dataclass(frozen=True, slots=True)
@@ -164,3 +173,222 @@ class FibChangeLog:
             ):
                 graph.set_next_hop(relevant[index].node, relevant[index].next_hop)
                 index += 1
+
+    # ------------------------------------------------------------------
+    # Multi-prefix reconstruction
+    # ------------------------------------------------------------------
+
+    def prefixes(self) -> List[Prefix]:
+        """Every prefix that ever appeared in the log, sorted."""
+        return sorted({c.prefix for c in self._changes})
+
+    def multi_epochs(
+        self, start: float, end: float
+    ) -> Iterator[Tuple[float, float, "MultiPrefixFib", FrozenSet[Prefix]]]:
+        """Yield ``(epoch_start, epoch_end, fib, changed)`` over ``[start, end)``.
+
+        Like :meth:`epochs` but across **all** prefixes at once: an epoch
+        boundary is any instant at which any prefix's forwarding state
+        changes anywhere.  ``changed`` is the set of prefixes whose entries
+        were touched at the epoch's opening boundary (for the first epoch:
+        everything applied at or before ``start``) — evaluators use it to
+        re-derive only the forwarding state that could have moved.  The
+        yielded :class:`MultiPrefixFib` is a **live view** that mutates on
+        the next iteration — callers must finish with it before advancing
+        (copying N-prefix state per epoch would be quadratic in exactly the
+        workloads this exists for).
+        """
+        if end < start:
+            raise AnalysisError(f"epoch window end {end} before start {start}")
+        fib = MultiPrefixFib()
+        index = 0
+        changes = self._changes
+        changed: Set[Prefix] = set()
+        while index < len(changes) and changes[index].time <= start:
+            fib.set_entry(changes[index].node, changes[index].prefix, changes[index].next_hop)
+            changed.add(changes[index].prefix)
+            index += 1
+
+        cursor = start
+        while cursor < end:
+            next_time = changes[index].time if index < len(changes) else None
+            if next_time is None or next_time >= end:
+                yield (cursor, end, fib, frozenset(changed))
+                return
+            if next_time > cursor:
+                yield (cursor, next_time, fib, frozenset(changed))
+                cursor = next_time
+                changed = set()
+            # lint: allow(float-time-eq) -- equality groups same-instant
+            # records sharing one float value read from this very list.
+            while (
+                index < len(changes)
+                and changes[index].time == next_time  # lint: allow(float-time-eq)
+            ):
+                fib.set_entry(changes[index].node, changes[index].prefix, changes[index].next_hop)
+                changed.add(changes[index].prefix)
+                index += 1
+
+
+# ----------------------------------------------------------------------
+# Longest-prefix-match resolution
+# ----------------------------------------------------------------------
+
+
+class _TrieNode:
+    __slots__ = ("children", "entry")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode"]] = [None, None]
+        self.entry: Optional[Tuple[PrefixSpec, object]] = None
+
+
+class PrefixTrie:
+    """A binary trie mapping structured prefixes to payloads, with LPM lookup.
+
+    Interior nodes are retained after :meth:`remove` (entries just clear);
+    aggregation cycles re-insert the same specifics repeatedly, so keeping
+    the skeleton trades a bounded sliver of memory for churn-free updates.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _descend(self, spec: PrefixSpec, build: bool) -> Optional[_TrieNode]:
+        node: Optional[_TrieNode] = self._root
+        for bit_index in range(spec.length):
+            bit = (spec.value >> (ADDRESS_BITS - 1 - bit_index)) & 1
+            assert node is not None
+            child = node.children[bit]
+            if child is None:
+                if not build:
+                    return None
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        return node
+
+    def insert(self, spec: PrefixSpec, payload: object) -> None:
+        node = self._descend(spec, build=True)
+        assert node is not None
+        if node.entry is None:
+            self._size += 1
+        node.entry = (spec, payload)
+
+    def remove(self, spec: PrefixSpec) -> bool:
+        """Drop the entry for ``spec``; True when one existed."""
+        node = self._descend(spec, build=False)
+        if node is None or node.entry is None:
+            return False
+        node.entry = None
+        self._size -= 1
+        return True
+
+    def lookup(self, address: int) -> Optional[Tuple[PrefixSpec, object]]:
+        """The most-specific ``(spec, payload)`` containing ``address``."""
+        node: Optional[_TrieNode] = self._root
+        best = node.entry if node is not None else None
+        for bit_index in range(ADDRESS_BITS):
+            assert node is not None
+            node = node.children[(address >> (ADDRESS_BITS - 1 - bit_index)) & 1]
+            if node is None:
+                break
+            if node.entry is not None:
+                best = node.entry
+        return best
+
+    def entries(self) -> List[Tuple[PrefixSpec, object]]:
+        """All live entries, sorted by (value, length) — deterministic."""
+        found: List[Tuple[PrefixSpec, object]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.entry is not None:
+                found.append(node.entry)
+            for child in node.children:
+                if child is not None:
+                    stack.append(child)
+        found.sort(key=lambda e: (e[0].value, e[0].length))
+        return found
+
+
+class MultiPrefixFib:
+    """Every node's forwarding table over a *population* of prefixes.
+
+    Structured prefixes (parseable by :func:`repro.prefixes.parse_prefix`)
+    resolve by longest match, so a specific shadows its cover and withdrawing
+    the specific (``next_hop=None``) falls back to the cover — the semantics
+    aggregation/deaggregation events rely on.  Opaque legacy prefixes match
+    exactly and never interact with each other or with structured ones.
+
+    A ``next_hop`` of ``None`` **deletes** the entry rather than storing a
+    blackhole: an unreachable specific must not shadow a reachable cover.
+    """
+
+    def __init__(self) -> None:
+        self._tries: Dict[int, PrefixTrie] = {}
+        self._opaque: Dict[int, Dict[Prefix, int]] = {}
+
+    def set_entry(self, node: int, prefix: Prefix, next_hop: Optional[int]) -> None:
+        spec = _parse(prefix)
+        if spec is not None:
+            trie = self._tries.get(node)
+            if next_hop is None:
+                if trie is not None:
+                    trie.remove(spec)
+                return
+            if trie is None:
+                trie = self._tries[node] = PrefixTrie()
+            trie.insert(spec, next_hop)
+        else:
+            table = self._opaque.get(node)
+            if next_hop is None:
+                if table is not None:
+                    table.pop(prefix, None)
+                return
+            if table is None:
+                table = self._opaque[node] = {}
+            table[prefix] = next_hop
+
+    def resolve(self, node: int, destination: Destination) -> Optional[Tuple[Prefix, int]]:
+        """LPM (or exact-match) resolution: ``(matched_prefix, next_hop)``.
+
+        ``destination`` is an integer address for structured prefixes or the
+        opaque prefix string itself.  ``None`` when the node has no matching
+        route.
+        """
+        if isinstance(destination, int):
+            trie = self._tries.get(node)
+            if trie is None:
+                return None
+            hit = trie.lookup(destination)
+            if hit is None:
+                return None
+            spec, next_hop = hit
+            return (str(spec), next_hop)  # type: ignore[return-value]
+        table = self._opaque.get(node)
+        if table is None or destination not in table:
+            return None
+        return (destination, table[destination])
+
+    def next_hop(self, node: int, destination: Destination) -> Optional[int]:
+        hit = self.resolve(node, destination)
+        return None if hit is None else hit[1]
+
+    def delivers_locally(self, node: int, destination: Destination) -> bool:
+        """True when the node's best match points at itself."""
+        return self.next_hop(node, destination) == node
+
+    def node_entries(self, node: int) -> List[Tuple[Prefix, int]]:
+        """The node's live entries as sorted ``(prefix, next_hop)`` pairs."""
+        pairs: List[Tuple[Prefix, int]] = [
+            (str(spec), hop)  # type: ignore[misc]
+            for spec, hop in (self._tries.get(node).entries() if node in self._tries else [])
+        ]
+        pairs.extend(sorted((self._opaque.get(node) or {}).items()))
+        pairs.sort()
+        return pairs

@@ -16,7 +16,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from .fib import ForwardingGraph
+from .fib import Destination, ForwardingGraph, MultiPrefixFib
 
 DEFAULT_TTL = 128
 """The paper's initial TTL value."""
@@ -97,6 +97,45 @@ def walk(
         if node in visited:
             # Entered a cycle; in a static graph the packet now spins until
             # its TTL is gone.
+            cycle = tuple(trail[visited[node]:])
+            return WalkResult(
+                PacketFate.TTL_EXPIRED, ttl, loop=canonical_cycle(cycle)
+            )
+        visited[node] = len(trail)
+        trail.append(node)
+
+
+def walk_lpm(
+    fib: MultiPrefixFib,
+    source: int,
+    destination: Destination,
+    ttl: int = DEFAULT_TTL,
+) -> WalkResult:
+    """:func:`walk`, but each hop resolves ``destination`` by longest match.
+
+    Every node consults its own multi-prefix table, so mid-deaggregation a
+    packet can ride a /22 cover at one hop and a /24 specific at the next —
+    exactly the mixed-state forwarding that makes aggregation events loop.
+    Per fixed destination the graph is still functional (one next hop per
+    node), so revisit-short-circuiting is as sound as in :func:`walk`.
+    """
+    if ttl < 1:
+        raise ValueError(f"ttl must be >= 1, got {ttl}")
+    visited = {source: 0}
+    trail = [source]
+    node = source
+    hops = 0
+    while True:
+        next_hop = fib.next_hop(node, destination)
+        if next_hop == node:
+            return WalkResult(PacketFate.DELIVERED, hops)
+        if next_hop is None:
+            return WalkResult(PacketFate.DROPPED_NO_ROUTE, hops)
+        hops += 1
+        if hops > ttl:
+            return WalkResult(PacketFate.TTL_EXPIRED, ttl)
+        node = next_hop
+        if node in visited:
             cycle = tuple(trail[visited[node]:])
             return WalkResult(
                 PacketFate.TTL_EXPIRED, ttl, loop=canonical_cycle(cycle)

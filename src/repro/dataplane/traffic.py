@@ -11,10 +11,12 @@ enumerating them.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigError
+from ..prefixes import parse_prefix
 
 DEFAULT_PACKET_RATE = 10.0
 """Packets per second per source (the paper's setting)."""
@@ -98,3 +100,102 @@ def sources_for(
             continue
         sources.append(CbrSource(node=node, rate=rate, start=start + position * stagger))
     return sources
+
+
+# ----------------------------------------------------------------------
+# Traffic matrices over prefix populations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One CBR stream from ``source`` into ``prefix``.
+
+    ``destination`` is what the packets are addressed to: a concrete integer
+    address inside a structured prefix (resolved by longest match at every
+    hop), or the prefix string itself for opaque legacy prefixes.  ``rate``
+    is the flow's seeded weight — the heavier the flow, the more of the
+    offered-traffic denominator it carries.
+    """
+
+    source: int
+    prefix: str
+    destination: Union[int, str]
+    rate: float = DEFAULT_PACKET_RATE
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError(f"flow rate must be positive, got {self.rate}")
+
+    def as_cbr(self) -> CbrSource:
+        """The flow's arrival process (for interval packet counting)."""
+        return CbrSource(node=self.source, rate=self.rate, start=self.start)
+
+    def count_in(self, t0: float, t1: float) -> int:
+        """Packets this flow offers in ``[t0, t1)``."""
+        return self.as_cbr().count_in(t0, t1)
+
+
+@dataclass(frozen=True)
+class TrafficMatrix:
+    """A fixed set of flows — the demand side of the loop-damage metric."""
+
+    flows: Tuple[Flow, ...]
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def total_rate(self) -> float:
+        return sum(flow.rate for flow in self.flows)
+
+    def prefixes(self) -> List[str]:
+        """Distinct target prefixes, sorted."""
+        return sorted({flow.prefix for flow in self.flows})
+
+    @classmethod
+    def seeded(
+        cls,
+        nodes: Sequence[int],
+        prefixes: Sequence[str],
+        seed: int,
+        rate_range: Tuple[float, float] = (1.0, DEFAULT_PACKET_RATE),
+        start: float = 0.0,
+        origins: Optional[Mapping[str, Tuple[int, ...]]] = None,
+    ) -> "TrafficMatrix":
+        """One flow per (source, prefix) with seeded rates and addresses.
+
+        Rates are U[rate_range] per pair; the destination address of every
+        flow for one structured prefix is a single seeded representative
+        inside that prefix (drawn once per prefix, before the per-pair
+        rates), which keeps evaluation vectorizable by destination.  Sources
+        listed in ``origins[prefix]`` do not send to their own prefix — the
+        paper's "every *other* AS" workload.  Iteration order is the sorted
+        (prefix, node) grid, so the matrix is a pure function of the inputs.
+        """
+        low, high = rate_range
+        if not (0 < low <= high):
+            raise ConfigError(f"rate range must satisfy 0 < low <= high: {rate_range}")
+        rng = random.Random(seed)
+        flows: List[Flow] = []
+        for prefix in sorted(set(prefixes)):
+            spec = parse_prefix(prefix)
+            if spec is None:
+                destination: Union[int, str] = prefix
+            else:
+                destination = spec.value + rng.randrange(spec.size)
+            skip = frozenset(origins.get(prefix, ()) if origins else ())
+            for node in sorted(set(nodes)):
+                if node in skip:
+                    continue
+                rate = rng.uniform(low, high)
+                flows.append(
+                    Flow(
+                        source=node,
+                        prefix=prefix,
+                        destination=destination,
+                        rate=rate,
+                        start=start,
+                    )
+                )
+        return cls(flows=tuple(flows))

@@ -1,0 +1,388 @@
+"""Traffic-weighted data-plane evaluation over prefix populations.
+
+The paper's ``looping_ratio`` treats every packet equally and one destination
+at a time.  Production damage is weighted: a loop that catches the heaviest
+flows of a 256-prefix table hurts more than one catching a trickle.
+:class:`TrafficMatrixEvaluator` replays the run's FIB log as *multi-prefix*
+epochs (any change to any prefix is a boundary), resolves every flow by
+longest prefix match, and reports the **fraction of offered traffic** that
+was looped / blackholed / delivered — the ROADMAP's millions-of-users metric.
+
+Per epoch the forwarding state for one destination address is a functional
+graph, so all sources sharing a destination are classified in one pass.  With
+numpy available that pass is vectorized pointer doubling (``nxt = nxt[nxt]``
+until every walk is absorbed); without it, a memoized per-source walk
+computes the identical classification.  All accounting is integer packet
+counts from the CBR arithmetic, so results are bit-identical across both
+paths, platforms, and process counts.
+
+Two structural facts keep this O(changes), not O(epochs × flows):
+
+* a destination's fate can change **only** when a prefix containing its
+  address changed at the epoch boundary (:meth:`FibChangeLog.multi_epochs`
+  reports exactly that set), so classifications are cached and epochs with
+  no relevant change extend the current constant-fate *segment*;
+* CBR counting is an index difference, so per-flow counts over a merged
+  segment equal the sum of its per-epoch counts exactly — accounting can
+  happen once per segment (vectorized over every flow at once with numpy)
+  with bit-identical totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..errors import AnalysisError
+from ..prefixes import parse_prefix
+from .fib import FibChangeLog, MultiPrefixFib
+from .packet import DEFAULT_TTL, PacketFate, walk_lpm
+from .traffic import TrafficMatrix
+
+_parse_spec = lru_cache(maxsize=None)(parse_prefix)
+
+try:  # numpy is optional: the pure-python path is exactly equivalent.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+_DELIVERED = 0
+_BLACKHOLED = 1
+_LOOPED = 2
+
+
+@dataclass(frozen=True, slots=True)
+class EpochTraffic:
+    """Traffic accounting for one multi-prefix epoch."""
+
+    start: float
+    end: float
+    offered: int
+    delivered: int
+    blackholed: int
+    looped: int
+
+    @property
+    def looped_fraction(self) -> float:
+        return self.looped / self.offered if self.offered else 0.0
+
+    @property
+    def blackholed_fraction(self) -> float:
+        return self.blackholed / self.offered if self.offered else 0.0
+
+
+@dataclass
+class TrafficReport:
+    """Offered-traffic fate totals over an evaluation window.
+
+    All counts are integer packets (CBR arithmetic), so every derived
+    fraction is an exact ratio of integers — digest-safe.
+    """
+
+    window: Tuple[float, float]
+    flows: int = 0
+    prefixes: int = 0
+    offered: int = 0
+    delivered: int = 0
+    blackholed: int = 0
+    looped: int = 0
+    epoch_rows: List[EpochTraffic] = field(default_factory=list)
+
+    @property
+    def looped_fraction(self) -> float:
+        """Fraction of offered traffic that died looping (traffic-weighted
+        analogue of the paper's looping ratio)."""
+        return self.looped / self.offered if self.offered else 0.0
+
+    @property
+    def blackholed_fraction(self) -> float:
+        """Fraction of offered traffic dropped for lack of a route."""
+        return self.blackholed / self.offered if self.offered else 0.0
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.delivered / self.offered if self.offered else 0.0
+
+    @property
+    def lost_fraction(self) -> float:
+        """Looped plus blackholed, as a fraction of offered traffic."""
+        return (self.looped + self.blackholed) / self.offered if self.offered else 0.0
+
+    def worst_epoch(self) -> Optional[EpochTraffic]:
+        """The epoch with the highest looped fraction (ties: earliest)."""
+        worst: Optional[EpochTraffic] = None
+        for row in self.epoch_rows:
+            if worst is None or row.looped_fraction > worst.looped_fraction:
+                worst = row
+        return worst
+
+
+class TrafficMatrixEvaluator:
+    """Computes a :class:`TrafficReport` from a FIB log and a traffic matrix.
+
+    Parameters
+    ----------
+    log:
+        The run's :class:`~repro.dataplane.fib.FibChangeLog` (all prefixes).
+    matrix:
+        The offered demand.
+    ttl:
+        Initial TTL.  The vectorized path requires ``ttl`` to exceed the
+        node count (so cycle membership and TTL death coincide); epochs
+        violating that fall back to the walk-based path automatically.
+    use_numpy:
+        ``None`` (default) uses numpy when importable; ``False`` forces the
+        pure-python path; ``True`` raises if numpy is missing.  Both paths
+        produce identical classifications — the switch exists for the
+        equivalence tests and numpy-free installs.
+    """
+
+    def __init__(
+        self,
+        log: FibChangeLog,
+        matrix: TrafficMatrix,
+        ttl: int = DEFAULT_TTL,
+        use_numpy: Optional[bool] = None,
+    ) -> None:
+        if not matrix.flows:
+            raise AnalysisError("traffic matrix has no flows")
+        if use_numpy and _np is None:
+            raise AnalysisError("numpy requested but not importable")
+        self._log = log
+        self._matrix = matrix
+        self._ttl = ttl
+        self._numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
+        # Group flows by destination once: all flows to one address share a
+        # functional graph per epoch and classify together.
+        self._by_destination: Dict[Union[int, str], List] = {}
+        for flow in matrix.flows:
+            self._by_destination.setdefault(flow.destination, []).append(flow)
+        self._destinations = list(self._by_destination)
+        self._sources_of = {
+            dest: [f.source for f in flows]
+            for dest, flows in self._by_destination.items()
+        }
+        # Flat flow order (grouped by destination) for whole-matrix
+        # accounting; each destination owns the slice [lo, hi) of it.
+        self._flat_flows = [
+            flow for dest in self._destinations
+            for flow in self._by_destination[dest]
+        ]
+        self._dest_slice: Dict[Union[int, str], Tuple[int, int]] = {}
+        lo = 0
+        for dest in self._destinations:
+            hi = lo + len(self._by_destination[dest])
+            self._dest_slice[dest] = (lo, hi)
+            lo = hi
+        if _np is not None:
+            self._flat_starts = _np.array(
+                [f.start for f in self._flat_flows], dtype=_np.float64
+            )
+            self._flat_rates = _np.array(
+                [f.rate for f in self._flat_flows], dtype=_np.float64
+            )
+        # The node universe for vectorized classification: anywhere a packet
+        # can start or be forwarded through.
+        nodes = {flow.source for flow in matrix.flows}
+        nodes.update(change.node for change in log)
+        for change in log:
+            if change.next_hop is not None:
+                nodes.add(change.next_hop)
+        self._nodes = sorted(nodes)
+        self._node_index = {node: i for i, node in enumerate(self._nodes)}
+        self._flat_fates: List[int] = [_BLACKHOLED] * len(self._flat_flows)
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, start: float, end: float) -> TrafficReport:
+        """Evaluate flow fates over ``[start, end)``."""
+        if end < start:
+            raise AnalysisError(f"window end {end} before start {start}")
+        report = TrafficReport(
+            window=(start, end),
+            flows=len(self._matrix.flows),
+            prefixes=len(self._matrix.prefixes()),
+        )
+        segment: Optional[List[float]] = None
+        classified = False
+        for t0, t1, fib, changed in self._log.multi_epochs(start, end):
+            if not classified:
+                self._reclassify(fib, self._destinations)
+                classified = True
+                segment = [t0, t1]
+                continue
+            invalid = self._invalidated(changed)
+            if invalid:
+                assert segment is not None
+                self._flush_segment(report, segment[0], segment[1])
+                self._reclassify(fib, invalid)
+                segment = [t0, t1]
+            else:
+                assert segment is not None
+                segment[1] = t1
+        if segment is not None:
+            self._flush_segment(report, segment[0], segment[1])
+        return report
+
+    # ------------------------------------------------------------------
+    # Segment machinery: cached fates, invalidation, exact accounting
+    # ------------------------------------------------------------------
+
+    def _invalidated(
+        self, changed: FrozenSet
+    ) -> List[Union[int, str]]:
+        """Destinations whose LPM resolution could differ after ``changed``.
+
+        Exact, not heuristic: a destination's functional graph reads
+        ``fib.next_hop(node, address)`` at every node, which can only move
+        when a changed prefix *contains* the address (structured) or equals
+        it (opaque legacy name)."""
+        if not changed:
+            return []
+        specs = [(prefix, _parse_spec(prefix)) for prefix in changed]
+        invalid = []
+        for dest in self._destinations:
+            for prefix, spec in specs:
+                if spec is None:
+                    if dest == prefix:
+                        invalid.append(dest)
+                        break
+                elif isinstance(dest, int) and spec.contains(dest):
+                    invalid.append(dest)
+                    break
+        return invalid
+
+    def _reclassify(
+        self, fib: MultiPrefixFib, destinations: Sequence[Union[int, str]]
+    ) -> None:
+        for dest in destinations:
+            fates = self._classify(fib, dest, self._sources_of[dest])
+            lo, _hi = self._dest_slice[dest]
+            for offset, fate in enumerate(fates):
+                self._flat_fates[lo + offset] = fate
+
+    def _flush_segment(
+        self, report: TrafficReport, t0: float, t1: float
+    ) -> None:
+        """Account ``[t0, t1)`` under the current (constant) classification.
+
+        Per-flow counts over a merged segment telescope to the sum of its
+        per-epoch counts (CBR counting is a first-index difference), so
+        this is bit-identical to per-epoch accounting."""
+        offered = delivered = blackholed = looped = 0
+        if self._numpy:
+            counts = self._counts_vector(t0, t1)
+            fates = _np.array(self._flat_fates, dtype=_np.int64)
+            offered = int(counts.sum())
+            if offered:
+                delivered = int(counts[fates == _DELIVERED].sum())
+                blackholed = int(counts[fates == _BLACKHOLED].sum())
+                looped = offered - delivered - blackholed
+        else:
+            for flow, fate in zip(self._flat_flows, self._flat_fates):
+                count = flow.count_in(t0, t1)
+                if not count:
+                    continue
+                offered += count
+                if fate == _DELIVERED:
+                    delivered += count
+                elif fate == _BLACKHOLED:
+                    blackholed += count
+                else:
+                    looped += count
+        report.offered += offered
+        report.delivered += delivered
+        report.blackholed += blackholed
+        report.looped += looped
+        report.epoch_rows.append(
+            EpochTraffic(t0, t1, offered, delivered, blackholed, looped)
+        )
+
+    def _counts_vector(self, t0: float, t1: float):
+        """Vectorized :meth:`CbrSource.count_in` over every flow at once.
+
+        Replicates the scalar arithmetic operation for operation (same
+        float64 subtraction/multiply/ceil, same epsilon), so each element
+        equals ``flow.count_in(t0, t1)`` bitwise."""
+
+        def first_index(time: float):
+            raw = _np.ceil(
+                (time - self._flat_starts) * self._flat_rates - 1e-12
+            )
+            return _np.where(
+                time <= self._flat_starts, 0.0, raw
+            ).astype(_np.int64)
+
+        return _np.maximum(first_index(t1) - first_index(t0), 0)
+
+    # ------------------------------------------------------------------
+    # Classification backends
+    # ------------------------------------------------------------------
+
+    def _classify(
+        self, fib: MultiPrefixFib, destination: Union[int, str], sources: List[int]
+    ) -> List[int]:
+        if self._numpy and self._ttl >= len(self._nodes):
+            return self._classify_vectorized(fib, destination, sources)
+        return self._classify_walks(fib, destination, sources)
+
+    def _classify_walks(
+        self, fib: MultiPrefixFib, destination: Union[int, str], sources: List[int]
+    ) -> List[int]:
+        cache: Dict[int, int] = {}
+        fates = []
+        for source in sources:
+            fate = cache.get(source)
+            if fate is None:
+                result = walk_lpm(fib, source, destination, self._ttl)
+                if result.fate is PacketFate.DELIVERED:
+                    fate = _DELIVERED
+                elif result.fate is PacketFate.DROPPED_NO_ROUTE:
+                    fate = _BLACKHOLED
+                else:
+                    fate = _LOOPED
+                cache[source] = fate
+            fates.append(fate)
+        return fates
+
+    def _classify_vectorized(
+        self, fib: MultiPrefixFib, destination: Union[int, str], sources: List[int]
+    ) -> List[int]:
+        """Pointer-doubling classification of every node at once.
+
+        Index ``n`` is a sink sentinel ("no route"); delivery nodes and the
+        sentinel are absorbing self-loops, so after ``2**k >= n`` doubled
+        hops every walk rests at its delivery node, at the sentinel, or
+        inside a forwarding cycle.  Requires ``ttl >= n`` (checked by the
+        caller) so "inside a cycle" and "TTL death" coincide with
+        :func:`~repro.dataplane.packet.walk_lpm`.
+        """
+        n = len(self._nodes)
+        nxt = _np.full(n + 1, n, dtype=_np.int64)
+        delivers = _np.zeros(n + 1, dtype=bool)
+        for i, node in enumerate(self._nodes):
+            hop = fib.next_hop(node, destination)
+            if hop is None:
+                continue
+            if hop == node:
+                nxt[i] = i
+                delivers[i] = True
+            else:
+                nxt[i] = self._node_index.get(hop, n)
+        steps = 1
+        while steps < n:
+            nxt = nxt[nxt]
+            steps *= 2
+        final = nxt
+        fates = []
+        for source in sources:
+            i = self._node_index[source]
+            f = int(final[i])
+            if f < n and delivers[f]:
+                fates.append(_DELIVERED)
+            elif f == n:
+                fates.append(_BLACKHOLED)
+            else:
+                fates.append(_LOOPED)
+        return fates

@@ -57,6 +57,16 @@ class RunSettings:
         returned run as provenance.  Purely static — zero events are
         scheduled by certification, and the verdict is outside the
         determinism fingerprint, so digests are identical on or off.
+    traffic_matrix:
+        Evaluate a seeded traffic matrix (one CBR weight per
+        (source, prefix), see :class:`~repro.dataplane.traffic.
+        TrafficMatrix`) over the measurement window with
+        longest-prefix-match forwarding, and attach the resulting
+        :class:`~repro.dataplane.traffic_eval.TrafficReport` to the run's
+        :class:`~repro.core.loop_metrics.LoopStudyResult`.  This adds the
+        traffic-weighted loop metrics to ``summary_row()`` (and hence the
+        fingerprint), so it defaults off: single-prefix digests are
+        bit-identical unless a scenario opts in.
     """
 
     packet_rate: float = DEFAULT_PACKET_RATE
@@ -68,6 +78,7 @@ class RunSettings:
     telemetry: bool = False
     timeline: bool = False
     certify: bool = False
+    traffic_matrix: bool = False
 
     def __post_init__(self) -> None:
         if self.packet_rate <= 0:

@@ -14,6 +14,7 @@ from .fig6 import figure6a, figure6b, figure6c
 from .fig7 import figure7a, figure7b
 from .fig8 import figure8a, figure8b, figure8c, figure8d
 from .fig9 import figure9a, figure9b, figure9c, figure9d
+from .tagg import figure_tagg
 from .theory import theory_bound_figure
 from .tradeoff import FateBreakdown, packet_fate_breakdown, render_fate_table
 
@@ -37,6 +38,7 @@ __all__ = [
     "figure9b",
     "figure9c",
     "figure9d",
+    "figure_tagg",
     "metric_sweep_figure",
     "normalize_to",
     "packet_fate_breakdown",

@@ -21,11 +21,17 @@ from ..spec import constant_config, factory_ref, mrai_config
 from ..sweep import ScenarioFactory, SweepPoint, series, sweep, xs_of
 
 #: Metric label → LoopStudyResult.summary_row() key, shared across figures.
+#: The traffic_* keys exist only on runs with ``settings.traffic_matrix``
+#: (multi-prefix workloads); requesting them from a single-prefix sweep is
+#: a KeyError, by design.
 METRIC_KEYS = {
     "looping_duration": "looping_duration",
     "convergence_time": "convergence_time",
     "ttl_exhaustions": "ttl_exhaustions",
     "looping_ratio": "looping_ratio",
+    "traffic_looped_fraction": "traffic_looped_fraction",
+    "traffic_blackholed_fraction": "traffic_blackholed_fraction",
+    "traffic_delivered_fraction": "traffic_delivered_fraction",
 }
 
 

@@ -7,8 +7,9 @@
 2. Run to quiescence — the warm-up convergence that establishes steady-state
    routing (its messages are excluded from all metrics).
 3. Inject the scenario's event — Tdown origin withdrawal, Tlong link
-   failure, or one of the churn events (session reset, node crash,
-   link flap) — after a short guard interval.
+   failure, one of the churn events (session reset, node crash, link
+   flap), or a Tagg aggregate/deaggregate cycle — after a short guard
+   interval.
 4. Run to quiescence again, with an event budget as a non-convergence alarm.
    With the session layer enabled the run gets a *settle* window sized to
    the hold time, so detections carried by housekeeping timers still fire;
@@ -35,9 +36,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotation only)
     from ..telemetry import MetricsSnapshot, Timeline
 
 from ..bgp import BgpConfig, BgpSpeaker, RoutingPolicy
+from ..bgp.aggregation import apply_aggregate, apply_deaggregate
 from ..core import LoopStudyResult, loop_timeline, measure_convergence
 from ..core.exploration import RouteChangeLog
-from ..dataplane import EpochEvaluator, FibChangeLog, sources_for
+from ..dataplane import (
+    EpochEvaluator,
+    FibChangeLog,
+    TrafficMatrix,
+    TrafficMatrixEvaluator,
+    sources_for,
+)
 from ..engine import RandomStreams, Scheduler
 from ..errors import BudgetExceededError, ConfigError, SchedulingError
 from ..net import LinkFlap, Network, NodeCrash, SessionReset
@@ -126,9 +134,12 @@ def build_network(
         )
 
     network = Network(scenario.topology, scheduler, factory)
-    origin = network.node(scenario.destination)
-    assert isinstance(origin, BgpSpeaker)
-    origin.originate(scenario.prefix)
+    # Legacy single-prefix scenarios yield exactly ((destination, prefix),)
+    # here, so this loop is the historical code path bit-for-bit.
+    for node_id, prefix in scenario.effective_originations:
+        origin = network.node(node_id)
+        assert isinstance(origin, BgpSpeaker)
+        origin.originate(prefix)
     return network
 
 
@@ -247,6 +258,30 @@ def run_experiment(
         LinkFlap(
             u, v, failure_time, scenario.flap_period, count=scenario.flap_count
         ).inject(network)
+    elif scenario.event is EventKind.TAGG:
+        assert scenario.agg_blocks and scenario.agg_hold is not None
+
+        def inject_aggregate() -> None:
+            for block in scenario.agg_blocks:
+                speaker = network.node(block.origin)
+                assert isinstance(speaker, BgpSpeaker)
+                apply_aggregate(speaker, block)
+
+        def inject_deaggregate() -> None:
+            for block in scenario.agg_blocks:
+                speaker = network.node(block.origin)
+                assert isinstance(speaker, BgpSpeaker)
+                apply_deaggregate(speaker, block)
+
+        scheduler.call_at(
+            failure_time, inject_aggregate, priority=0, name="tagg-aggregate"
+        )
+        scheduler.call_at(
+            failure_time + scenario.agg_hold,
+            inject_deaggregate,
+            priority=0,
+            name="tagg-deaggregate",
+        )
     else:  # pragma: no cover - exhaustive dispatch guard
         raise ConfigError(f"unknown event kind {scenario.event!r}")
 
@@ -280,11 +315,28 @@ def run_experiment(
     )
     dataplane = evaluator.evaluate(*window)
     intervals = loop_timeline(fib_log, scenario.prefix, window[0], window[1])
+    # Traffic-matrix measurement (opt-in): a seeded CBR demand per
+    # (source, prefix) over the steady-state originated specifics,
+    # classified by LPM forwarding across *all* prefixes.  The matrix seed
+    # is the run seed, so jobs=1 and jobs=N workers rebuild it identically.
+    traffic = None
+    if settings.traffic_matrix:
+        matrix = TrafficMatrix.seeded(
+            nodes=scenario.topology.nodes,
+            prefixes=sorted({p for _n, p in scenario.effective_originations}),
+            seed=seed,
+            rate_range=(min(1.0, settings.packet_rate), settings.packet_rate),
+            origins=scenario.origins_by_prefix(),
+        )
+        traffic = TrafficMatrixEvaluator(
+            fib_log, matrix, ttl=settings.ttl
+        ).evaluate(*window)
     result = LoopStudyResult(
         convergence=convergence,
         dataplane=dataplane,
         loop_intervals=intervals,
         total_messages=len(network.trace),
+        traffic=traffic,
     )
 
     # Telemetry enrichment: lift the post-run analyses (dataplane packet

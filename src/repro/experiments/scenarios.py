@@ -24,9 +24,15 @@ plus churn variants of the clique and B-Clique setups.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from ..bgp.aggregation import (
+    DEFAULT_BLOCK_BITS,
+    AggregateBlock,
+    population_originations,
+    prefix_population,
+)
 from ..errors import ConfigError, TopologyError
 from ..topology import (
     Topology,
@@ -50,6 +56,7 @@ class EventKind(enum.Enum):
     TRESET = "treset"
     TCRASH = "tcrash"
     TFLAP = "tflap"
+    TAGG = "tagg"
 
 
 #: Events whose trigger is a specific link (``failed_link`` required).
@@ -63,6 +70,18 @@ class Scenario:
     ``failed_link`` names the link for Tlong (failed), Treset (session
     reset), and Tflap (flapping).  ``crash_node``/``restart_after`` apply to
     Tcrash only; ``flap_period``/``flap_count`` to Tflap only.
+
+    **Multi-prefix workloads.**  ``originations`` generalizes the
+    single-destination model: when non-empty, each ``(node, prefix)`` pair
+    is originated at warm-up *instead of* the implicit
+    ``(destination, prefix)`` origination.  The legacy fields keep their
+    meaning — ``destination``/``prefix`` name the origination the event and
+    the per-prefix metrics focus on, and must appear in the list.  An empty
+    ``originations`` is the legacy single-prefix path, byte-for-byte.
+
+    ``agg_blocks``/``agg_hold`` drive the **Tagg** event: at the failure
+    instant every block's origin collapses its specifics into the covering
+    prefix (make-before-break), and ``agg_hold`` seconds later re-splits.
     """
 
     name: str
@@ -75,6 +94,9 @@ class Scenario:
     restart_after: Optional[float] = None
     flap_period: Optional[float] = None
     flap_count: int = 1
+    originations: Tuple[Tuple[int, str], ...] = field(default=())
+    agg_blocks: Tuple[AggregateBlock, ...] = field(default=())
+    agg_hold: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.topology.has_node(self.destination):
@@ -129,11 +151,71 @@ class Scenario:
             raise ConfigError(
                 f"a {self.event.value} scenario must not set a flap period"
             )
+        if self.originations:
+            for node, prefix in self.originations:
+                if not self.topology.has_node(node):
+                    raise ConfigError(
+                        f"origination node {node} (for {prefix!r}) not in topology"
+                    )
+            if (self.destination, self.prefix) not in self.originations:
+                raise ConfigError(
+                    f"originations must include the focus pair "
+                    f"({self.destination}, {self.prefix!r})"
+                )
+            if len(set(self.originations)) != len(self.originations):
+                raise ConfigError("originations contain duplicates")
+        if self.event is EventKind.TAGG:
+            if not self.agg_blocks:
+                raise ConfigError("a Tagg scenario needs at least one aggregate block")
+            if self.agg_hold is None or self.agg_hold <= 0:
+                raise ConfigError(
+                    f"a Tagg scenario needs a positive agg_hold, got {self.agg_hold}"
+                )
+            if not self.originations:
+                raise ConfigError("a Tagg scenario must list its originations")
+            originated = set(self.originations)
+            for block in self.agg_blocks:
+                if not self.topology.has_node(block.origin):
+                    raise ConfigError(
+                        f"aggregate origin {block.origin} not in topology"
+                    )
+                for specific in block.specifics:
+                    if (block.origin, specific) not in originated:
+                        raise ConfigError(
+                            f"block specific ({block.origin}, {specific!r}) is "
+                            f"not originated at warm-up"
+                        )
+        elif self.agg_blocks or self.agg_hold is not None:
+            raise ConfigError(
+                f"a {self.event.value} scenario must not set aggregation fields"
+            )
 
     @property
     def source_nodes(self) -> list:
         """Every AS that hosts a traffic source (all but the destination)."""
         return [n for n in self.topology.nodes if n != self.destination]
+
+    @property
+    def effective_originations(self) -> Tuple[Tuple[int, str], ...]:
+        """What warm-up originates: the explicit list, or the legacy pair."""
+        if self.originations:
+            return self.originations
+        return ((self.destination, self.prefix),)
+
+    @property
+    def all_prefixes(self) -> Tuple[str, ...]:
+        """Every prefix the scenario can announce (originated or aggregate
+        covers), sorted and distinct."""
+        names = {prefix for _node, prefix in self.effective_originations}
+        names.update(block.cover for block in self.agg_blocks)
+        return tuple(sorted(names))
+
+    def origins_by_prefix(self) -> dict:
+        """``prefix -> (origin nodes...)`` over the effective originations."""
+        table: dict = {}
+        for node, prefix in self.effective_originations:
+            table.setdefault(prefix, []).append(node)
+        return {prefix: tuple(sorted(nodes)) for prefix, nodes in table.items()}
 
 
 # ----------------------------------------------------------------------
@@ -261,6 +343,41 @@ def tcrash_clique(
     )
 
 
+def tagg_clique(
+    n: int,
+    prefixes: int,
+    seed: int = 0,
+    origins: int = 1,
+    block_bits: int = DEFAULT_BLOCK_BITS,
+    hold: float = 30.0,
+) -> Scenario:
+    """Tagg in an n-clique: a prefix population aggregates and re-splits.
+
+    ``prefixes`` specifics (a seeded population across the first
+    ``origins`` nodes, blocks of 2^``block_bits`` under one cover each) are
+    announced at warm-up.  At the event, every origin collapses its blocks
+    into covers; ``hold`` seconds later they deaggregate back.  The focus
+    pair for legacy per-prefix metrics is the first block's first specific.
+    """
+    if not 1 <= origins <= n:
+        raise ConfigError(f"origin count must be in [1, {n}], got {origins}")
+    blocks = prefix_population(
+        prefixes, list(range(origins)), seed=seed, block_bits=block_bits
+    )
+    originations = tuple(population_originations(blocks))
+    focus = blocks[0]
+    return Scenario(
+        name=f"tagg-clique-{n}-p{prefixes}-o{origins}-s{seed}",
+        topology=clique(n),
+        destination=focus.origin,
+        event=EventKind.TAGG,
+        prefix=focus.specifics[0],
+        originations=originations,
+        agg_blocks=tuple(blocks),
+        agg_hold=hold,
+    )
+
+
 def tflap_bclique(n: int, period: float, count: int = 3) -> Scenario:
     """Tflap in a size-n B-Clique: flap the edge-to-core link (0, n).
 
@@ -324,6 +441,52 @@ def bclique_tlong_fixed(x: float, seed: int, *, size: int) -> Scenario:
 def bclique_tflap_trial(x: float, seed: int, *, size: int, count: int = 3) -> Scenario:
     """x is the flap period over a fixed-size B-Clique (churn sweeps)."""
     return tflap_bclique(size, period=x, count=count)
+
+
+def clique_tagg_trial(
+    x: float,
+    seed: int,
+    *,
+    size: int,
+    origins: int = 1,
+    block_bits: int = DEFAULT_BLOCK_BITS,
+    hold: float = 30.0,
+) -> Scenario:
+    """x is the prefix-population size over a fixed-size clique (Tagg)."""
+    return tagg_clique(
+        size,
+        prefixes=int(x),
+        seed=seed,
+        origins=origins,
+        block_bits=block_bits,
+        hold=hold,
+    )
+
+
+def multiprefix_trial(x: float, seed: int, *, base: str, size: int) -> Scenario:
+    """A legacy family run through the multi-prefix origination path.
+
+    ``base`` picks the underlying family (``"tdown"`` on a clique or
+    ``"tflap"`` on a B-Clique); the scenario is identical except that the
+    origination is expressed through ``originations`` — the golden
+    equivalence tests pin that this is a strict generalization (same trace
+    digest as the legacy path).
+    """
+    if base == "tdown":
+        legacy = tdown_clique(size)
+    elif base == "tflap":
+        legacy = tflap_bclique(size, period=x, count=3)
+    else:
+        raise ConfigError(f"unknown multiprefix base family {base!r}")
+    return with_explicit_originations(legacy)
+
+
+def with_explicit_originations(scenario: Scenario) -> Scenario:
+    """The same scenario with its origination made explicit (N=1 list)."""
+    return replace(
+        scenario,
+        originations=((scenario.destination, scenario.prefix),),
+    )
 
 
 def clique_treset_trial(x: float, seed: int) -> Scenario:
