@@ -1,21 +1,39 @@
-"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+"""Compare a fresh benchmark document against a committed baseline.
 
-The CI ``bench-regression`` job runs ``bench_hotpath.py`` (median of 3) and
-then::
+The CI ``bench-regression`` job runs ``bench_hotpath.py`` (median of 3)
+and then::
 
     python benchmarks/compare_baselines.py \
         benchmarks/baselines/BENCH_hotpath.json BENCH_hotpath.json
 
-Exit status 1 — failing the job — when any scenario's median wall-clock
-regressed more than ``--tolerance`` (default 25%) over the baseline, or
-when a baseline scenario is missing from the candidate.  Speedups and
-small fluctuations pass; CI runners are shared hardware, so the tolerance
-is deliberately generous and the benchmark reports medians.
+A scenario *regresses* when its median wall-clock grows more than
+``--tolerance`` (default 25%) over the baseline, or when it is missing
+from the candidate.  Speedups and small fluctuations pass; CI runners
+are shared hardware, so the tolerance is deliberately generous and the
+benchmark reports medians.
 
-Updates/sec and update counts are printed for context but not gated: the
-update count is digest-checked behavior (it cannot drift without the
-determinism job failing first), and updates/sec is just its ratio with the
-gated wall-clock.
+Updates/sec and update counts are reported for context but not gated:
+the update count is digest-checked behavior (it cannot drift without the
+determinism job failing first), and updates/sec is just its ratio with
+the gated wall-clock.
+
+Output formats (``--format``):
+
+``table``
+    The human-readable per-scenario table (default).
+``json``
+    One machine-readable document on stdout — per-scenario deltas,
+    verdicts, the tolerance, and the overall ``ok`` flag.  This is what
+    the sweep service's continuous-bench scheduler parses.
+
+Exit codes (stable, scripted against by CI and the service):
+
+* ``0`` — every baseline scenario present and within tolerance;
+* ``1`` — at least one scenario regressed or went missing;
+* ``2`` — unusable input (file missing, bad JSON, no ``results``).
+
+``compare_documents`` is importable for anyone who already holds the
+parsed documents and wants the structured report without a subprocess.
 """
 
 from __future__ import annotations
@@ -24,55 +42,107 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+#: Exit statuses, named so callers can script against them.
+EXIT_OK = 0
+EXIT_REGRESSED = 1
+EXIT_BAD_INPUT = 2
+
+
+class ComparisonError(ValueError):
+    """The baseline or candidate document is unusable."""
 
 
 def load(path: Path) -> Dict:
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
-        raise SystemExit(f"error: {path} does not exist")
+        raise ComparisonError(f"{path} does not exist")
     except json.JSONDecodeError as exc:
-        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+        raise ComparisonError(f"{path} is not valid JSON: {exc}")
     if not isinstance(document.get("results"), dict):
-        raise SystemExit(f"error: {path} has no 'results' mapping")
+        raise ComparisonError(f"{path} has no 'results' mapping")
     return document
 
 
-def compare(
-    baseline: Dict, candidate: Dict, tolerance: float
-) -> int:
-    """Print a per-scenario table; return the number of regressions."""
+def compare_documents(
+    baseline: Dict, candidate: Dict, tolerance: float = 0.25
+) -> Dict:
+    """Compare two parsed benchmark documents; returns the report dict.
+
+    The report shape is the ``--format json`` output::
+
+        {"tolerance": 0.25, "schema_match": true, "ok": true,
+         "regressions": 0,
+         "scenarios": [{"name": ..., "status": "ok"|"regressed"|"missing",
+                        "baseline_wall_s": ..., "candidate_wall_s": ...,
+                        "ratio": ..., "baseline_updates_per_s": ...,
+                        "candidate_updates_per_s": ...}, ...]}
+    """
+    scenarios: List[Dict] = []
     regressions = 0
-    header = (
-        f"{'scenario':<12} {'baseline':>12} {'candidate':>12} "
-        f"{'ratio':>8}  verdict"
-    )
-    print(header)
-    print("-" * len(header))
     for name in sorted(baseline["results"]):
         base = baseline["results"][name]
         cand = candidate["results"].get(name)
         if cand is None:
-            print(f"{name:<12} {'—':>12} {'—':>12} {'—':>8}  MISSING")
+            scenarios.append({"name": name, "status": "missing"})
             regressions += 1
             continue
         base_wall = float(base["wall_clock_s"])
         cand_wall = float(cand["wall_clock_s"])
         ratio = cand_wall / base_wall if base_wall > 0 else float("inf")
         regressed = ratio > 1.0 + tolerance
-        verdict = f"REGRESSED (> +{tolerance:.0%})" if regressed else "ok"
-        print(
-            f"{name:<12} {base_wall * 1e3:>10.1f}ms {cand_wall * 1e3:>10.1f}ms "
-            f"{ratio:>7.2f}x  {verdict}"
-        )
-        print(
-            f"{'':<12} {base.get('updates_per_s', '?'):>10} u/s "
-            f"{cand.get('updates_per_s', '?'):>10} u/s"
-        )
         if regressed:
             regressions += 1
-    return regressions
+        scenarios.append(
+            {
+                "name": name,
+                "status": "regressed" if regressed else "ok",
+                "baseline_wall_s": base_wall,
+                "candidate_wall_s": cand_wall,
+                "ratio": ratio,
+                "baseline_updates_per_s": base.get("updates_per_s"),
+                "candidate_updates_per_s": cand.get("updates_per_s"),
+            }
+        )
+    return {
+        "tolerance": tolerance,
+        "schema_match": baseline.get("schema") == candidate.get("schema"),
+        "ok": regressions == 0,
+        "regressions": regressions,
+        "scenarios": scenarios,
+    }
+
+
+def render_table(report: Dict) -> str:
+    """The human-readable per-scenario table for one report."""
+    tolerance = report["tolerance"]
+    header = (
+        f"{'scenario':<12} {'baseline':>12} {'candidate':>12} "
+        f"{'ratio':>8}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for scenario in report["scenarios"]:
+        name = scenario["name"]
+        if scenario["status"] == "missing":
+            lines.append(f"{name:<12} {'—':>12} {'—':>12} {'—':>8}  MISSING")
+            continue
+        verdict = (
+            f"REGRESSED (> +{tolerance:.0%})"
+            if scenario["status"] == "regressed"
+            else "ok"
+        )
+        lines.append(
+            f"{name:<12} {scenario['baseline_wall_s'] * 1e3:>10.1f}ms "
+            f"{scenario['candidate_wall_s'] * 1e3:>10.1f}ms "
+            f"{scenario['ratio']:>7.2f}x  {verdict}"
+        )
+        lines.append(
+            f"{'':<12} {scenario.get('baseline_updates_per_s') or '?':>10} u/s "
+            f"{scenario.get('candidate_updates_per_s') or '?':>10} u/s"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -85,29 +155,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--tolerance", type=float, default=0.25, metavar="FRACTION",
         help="allowed wall-clock growth before failing (default 0.25 = +25%%)",
     )
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format: human table (default) or machine JSON",
+    )
     args = parser.parse_args(argv)
 
-    baseline = load(args.baseline)
-    candidate = load(args.candidate)
-    if baseline.get("schema") != candidate.get("schema"):
-        print(
-            f"warning: schema mismatch "
-            f"(baseline {baseline.get('schema')}, "
-            f"candidate {candidate.get('schema')})",
-            file=sys.stderr,
-        )
+    try:
+        baseline = load(args.baseline)
+        candidate = load(args.candidate)
+    except ComparisonError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
 
-    regressions = compare(baseline, candidate, args.tolerance)
-    if regressions:
-        print(
-            f"\n{regressions} scenario(s) regressed beyond "
-            f"+{args.tolerance:.0%}; if intentional, refresh "
-            f"benchmarks/baselines/BENCH_hotpath.json (see README).",
-            file=sys.stderr,
-        )
-        return 1
-    print("\nall scenarios within tolerance")
-    return 0
+    report = compare_documents(baseline, candidate, args.tolerance)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        if not report["schema_match"]:
+            print(
+                f"warning: schema mismatch "
+                f"(baseline {baseline.get('schema')}, "
+                f"candidate {candidate.get('schema')})",
+                file=sys.stderr,
+            )
+        print(render_table(report))
+        if report["regressions"]:
+            print(
+                f"\n{report['regressions']} scenario(s) regressed beyond "
+                f"+{args.tolerance:.0%}; if intentional, refresh the "
+                f"baseline under benchmarks/baselines/ (see README).",
+                file=sys.stderr,
+            )
+        else:
+            print("\nall scenarios within tolerance")
+    return EXIT_REGRESSED if report["regressions"] else EXIT_OK
 
 
 if __name__ == "__main__":

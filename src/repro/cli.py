@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands::
+Batch subcommands::
 
     repro run          # one experiment: topology + event + variant -> metrics
     repro figure       # regenerate one paper figure as an ASCII table
@@ -12,11 +12,22 @@ Nine subcommands::
     repro metrics      # one traced run: telemetry table + timeline exports
     repro stability    # static safety certification of the bundled scenarios
 
+Service subcommands (the always-on sweep job service)::
+
+    repro serve        # run the daemon for one state directory
+    repro submit       # queue a sweep / figure / bench job
+    repro jobs         # list the queue's jobs and their states
+    repro watch        # stream one job's per-trial progress live
+    repro cancel       # cancel a queued or running job
+
 Also reachable as ``python -m repro``.  Every command is deterministic for
 a given ``--seed`` — and ``repro determinism`` proves it.  ``figure``,
 ``sweep``, and ``determinism`` accept ``--retries``/``--trial-timeout`` to
 run their parallel trials under the resilient supervised executor (worker
 restarts, watchdog timeouts, retry with backoff — results unchanged).
+The service verbs wrap the same machinery: a sweep submitted to the
+daemon produces bit-identical per-trial digests to the equivalent
+foreground ``repro sweep`` — even across a ``kill -9`` and restart.
 """
 
 from __future__ import annotations
@@ -434,6 +445,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the run's timeline as JSON Lines",
     )
     metrics.set_defaults(restart_after=30.0, flap_period=15.0, flap_count=3)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the sweep job service daemon (Unix-socket, durable queue)",
+    )
+    serve.add_argument(
+        "--state", required=True, metavar="DIR",
+        help="service state directory (socket, job queue, journals, artifacts)",
+    )
+    serve.add_argument(
+        "--bench-interval", type=float, default=None, metavar="SECONDS",
+        help=(
+            "submit a continuous-benchmarking job every N seconds, recording "
+            "the per-commit perf trajectory under benchmarks/results/"
+        ),
+    )
+    serve.add_argument(
+        "--bench-repeat", type=int, default=1, metavar="N",
+        help="timed repetitions per scheduled bench scenario (default: 1)",
+    )
+
+    submit = commands.add_parser(
+        "submit", help="queue a job on the sweep service daemon"
+    )
+    submit.add_argument(
+        "--state", required=True, metavar="DIR",
+        help="state directory of the daemon to talk to",
+    )
+    what = submit.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--sweep", metavar="FAMILY", dest="sweep_family",
+        help="sweep family: tdown, tlong, treset, tcrash, or tflap",
+    )
+    what.add_argument(
+        "--figure", metavar="ID", dest="figure_id",
+        help="render one paper figure into the job's artifact directory",
+    )
+    what.add_argument(
+        "--bench", action="store_true",
+        help="run one continuous-benchmarking cycle against the baselines",
+    )
+    submit.add_argument(
+        "--xs", default=None, metavar="X,X,...",
+        help="sweep x values (sizes, or flap periods for tflap)",
+    )
+    submit.add_argument(
+        "--trials", type=int, default=1, metavar="N",
+        help="seeded trials per x (seeds 0..N-1; default: 1)",
+    )
+    submit.add_argument(
+        "--variant", choices=VARIANT_NAMES, default="standard",
+        help="protocol variant (default: standard)",
+    )
+    submit.add_argument(
+        "--mrai", type=float, default=2.0, help="MRAI seconds (default: 2)"
+    )
+    submit.add_argument(
+        "--size", type=int, default=None,
+        help="topology size for families that sweep something else (tflap)",
+    )
+    submit.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes inside the job (0 = one per CPU; default: 1)",
+    )
+    submit.add_argument(
+        "--quick", action="store_true",
+        help="figure jobs: tiny sizes and short MRAI",
+    )
+    submit.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="bench jobs: timed repetitions per scenario (default: 1)",
+    )
+    submit.add_argument(
+        "--follow", action="store_true",
+        help="stay attached and stream the job's events (like repro watch)",
+    )
+    _add_resilience_arguments(submit)
+
+    jobs_cmd = commands.add_parser(
+        "jobs", help="list the sweep service's jobs and their states"
+    )
+    jobs_cmd.add_argument(
+        "--state", required=True, metavar="DIR",
+        help="state directory of the daemon to talk to",
+    )
+    jobs_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+
+    watch = commands.add_parser(
+        "watch", help="stream one job's per-trial progress from the daemon"
+    )
+    watch.add_argument(
+        "--state", required=True, metavar="DIR",
+        help="state directory of the daemon to talk to",
+    )
+    watch.add_argument("job", metavar="JOB", help="job id (e.g. job-3)")
+
+    cancel = commands.add_parser(
+        "cancel", help="cancel a queued or running sweep service job"
+    )
+    cancel.add_argument(
+        "--state", required=True, metavar="DIR",
+        help="state directory of the daemon to talk to",
+    )
+    cancel.add_argument("job", metavar="JOB", help="job id (e.g. job-3)")
+
     return parser
 
 
@@ -593,7 +712,6 @@ def _cmd_sweep(args) -> int:
         clique_tdown_trial,
         constant_config,
         factory_ref,
-        last_report,
     )
 
     sizes = [int(value) for value in args.sizes.split(",") if value.strip()]
@@ -605,6 +723,7 @@ def _cmd_sweep(args) -> int:
     config = variant(args.variant, mrai=args.mrai)
     policy = _policy_of(args)
     journal = SweepJournal(args.journal)
+    reports: List = []
     summaries = checkpointed_sweep(
         sizes,
         clique_tdown_trial,
@@ -615,6 +734,7 @@ def _cmd_sweep(args) -> int:
         jobs=args.jobs,
         policy=policy,
         fresh=args.fresh,
+        on_report=reports.append,
     )
     journal.close()
     print(journal.recovery.render())
@@ -628,8 +748,10 @@ def _cmd_sweep(args) -> int:
             f"{summary.x:>6g} {summary.succeeded:>4} {summary.failed:>5} "
             f"{summary.timeouts:>8}  {metrics or '-'}"
         )
-    supervision = last_report()
-    if policy is not None and supervision is not None:
+    if policy is not None and reports:
+        supervision = reports[0]
+        for extra in reports[1:]:
+            supervision = supervision.merged(extra)
         print(supervision.render())
     if any(summary.succeeded == 0 for summary in summaries):
         return 1
@@ -858,6 +980,155 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import ServiceState, serve
+
+    state = ServiceState(args.state)
+    print(f"sweep service: state {state.root}, socket {state.socket_path}")
+    if args.bench_interval:
+        print(f"bench scheduler: every {args.bench_interval:g}s")
+    serve(
+        args.state,
+        bench_interval=args.bench_interval,
+        bench_repeat=args.bench_repeat,
+    )
+    print("sweep service stopped")
+    return 0
+
+
+def _stream_job(client, job_id: str) -> int:
+    """Print a job's event stream; exit 0 iff it ended well."""
+    from .service.events import snapshot_from_json
+
+    final = "unknown"
+    for event in client.watch(job_id):
+        kind = event.get("event")
+        if kind == "trial":
+            status = "ok" if event.get("ok") else "FAILED"
+            print(f"trial x={event['x']:g} seed={event['seed']}: {status}")
+        elif kind == "point":
+            stats = event.get("stats", {})
+            metrics = stats.get("metrics") or {}
+            rendered = ", ".join(
+                f"{key}={value:.2f}" for key, value in sorted(metrics.items())
+            )
+            line = (
+                f"point x={event['x']:g}: {stats.get('succeeded', 0)} ok, "
+                f"{stats.get('failed', 0)} failed"
+            )
+            print(f"{line}  {rendered}" if rendered else line)
+        elif kind == "snapshot":
+            snapshot = snapshot_from_json(event.get("metrics", {}))
+            if not snapshot.empty:
+                print("aggregated telemetry (all trials):")
+                print(snapshot.render())
+        elif kind == "state":
+            detail = event.get("detail") or {}
+            suffix = f" ({detail})" if detail else ""
+            print(f"state: {event.get('state')}{suffix}")
+        elif kind == "log":
+            print(f"# {event.get('message')}")
+        elif kind == "end":
+            final = event.get("state", "unknown")
+            print(f"job {job_id} finished: {final}")
+    # "queued" means the daemon shut down politely mid-job; the job is
+    # intact and resumes on the next daemon start — not a failure here.
+    return 0 if final in ("done", "queued") else 1
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceClient
+
+    if args.sweep_family is not None:
+        if not args.xs:
+            raise ReproError("--sweep needs --xs (e.g. --xs 3,4,5)")
+        xs = [float(value) for value in args.xs.split(",") if value.strip()]
+        params: Dict = {
+            "family": args.sweep_family,
+            "xs": xs,
+            "trials": args.trials,
+            "variant": args.variant,
+            "mrai": args.mrai,
+            "jobs": args.jobs,
+        }
+        if args.size is not None:
+            params["size"] = args.size
+        retries = getattr(args, "retries", None)
+        trial_timeout = getattr(args, "trial_timeout", None)
+        if retries is not None:
+            params["retries"] = retries
+        if trial_timeout is not None:
+            params["trial_timeout"] = trial_timeout
+        spec = {"kind": "sweep", "params": params}
+    elif args.figure_id is not None:
+        spec = {
+            "kind": "figure",
+            "params": {
+                "id": args.figure_id,
+                "quick": args.quick,
+                "jobs": args.jobs,
+            },
+        }
+    else:
+        spec = {"kind": "bench", "params": {"repeat": args.repeat}}
+
+    client = ServiceClient(args.state)
+    job_id = client.submit(spec)
+    print(f"submitted {job_id} ({spec['kind']})")
+    if args.follow:
+        return _stream_job(client, job_id)
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from .service import ServiceClient
+
+    summaries = ServiceClient(args.state).jobs()
+    if args.format == "json":
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+        return 0
+    if not summaries:
+        print("no jobs")
+        return 0
+    header = f"{'job':<10} {'kind':<8} {'state':<10} detail"
+    print(header)
+    print("-" * len(header))
+    for summary in summaries:
+        detail = summary.get("detail") or {}
+        notes = []
+        for key in ("points", "trials", "ok", "failed", "error"):
+            if key in detail:
+                notes.append(f"{key}={detail[key]}")
+        if detail.get("resumed"):
+            notes.append("resumed")
+        if detail.get("interrupted"):
+            notes.append("interrupted")
+        print(
+            f"{summary['job']:<10} {summary['kind']:<8} "
+            f"{summary['state']:<10} {' '.join(notes)}"
+        )
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from .service import ServiceClient
+
+    return _stream_job(ServiceClient(args.state), args.job)
+
+
+def _cmd_cancel(args) -> int:
+    from .service import ServiceClient
+
+    reply = ServiceClient(args.state).cancel(args.job)
+    if reply.get("cancelling"):
+        print(f"{args.job} is running; cancelling at the next trial boundary")
+    else:
+        print(f"{args.job} cancelled")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -872,6 +1143,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "determinism": _cmd_determinism,
         "metrics": _cmd_metrics,
         "stability": _cmd_stability,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "watch": _cmd_watch,
+        "cancel": _cmd_cancel,
     }
     try:
         return handlers[args.command](args)

@@ -88,6 +88,11 @@ class JournalError(ReproError):
     """A sweep journal was misused (bad path, closed handle, bad record)."""
 
 
+class ServiceError(ReproError):
+    """The sweep job service refused a request (bad job spec, unknown job,
+    daemon unreachable, protocol violation)."""
+
+
 class SanitizerError(ReproError):
     """A runtime sanitizer observed an invariant violation.
 

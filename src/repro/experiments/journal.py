@@ -20,6 +20,10 @@ service needs the journal to be the system of record across restarts:
 * **recovery on load** — a truncated final line (the crash arrived
   mid-write) and CRC-mismatched records are skipped and *counted*
   (:class:`JournalRecovery`), never fatal;
+* **single-writer locking** — the first write acquires an exclusive
+  ``flock`` on a sidecar ``<path>.lock`` file; a second writer opening
+  the same journal path fails fast with :class:`~repro.errors.
+  JournalError` instead of interleaving frames (readers never lock);
 * **signal-safe finalization** — :meth:`SweepJournal.guarded` installs
   SIGTERM/SIGINT handlers that write a final checkpoint before the
   default behavior proceeds, so a politely-terminated sweep leaves a
@@ -28,6 +32,11 @@ service needs the journal to be the system of record across restarts:
 Records are *per trial* (``(x, seed)``-keyed), not per point: a resumed
 sweep re-runs only the individual trials that never finished, even when
 a point's seeds were half done.
+
+The CRC line framing is generic (:func:`frame_line` / :func:`unframe_line`)
+and shared with :mod:`repro.service.queue`, whose durable job queue rides
+the same format — one framing, one recovery taxonomy, for every durable
+JSONL file the system writes.
 """
 
 from __future__ import annotations
@@ -41,11 +50,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
+try:  # pragma: no cover - always present on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback: no locking
+    fcntl = None  # type: ignore[assignment]
+
 from ..errors import AnalysisError, JournalError
 from ..util.stats import mean
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from .resilience import ResiliencePolicy
+    from .sweep import SweepPoint
 
 #: Journal line schema version, embedded in every record.
 SCHEMA_VERSION = 1
@@ -60,7 +75,10 @@ class TrialRecord:
     ``status`` is ``"ok"``, ``"failed"``, or ``"timeout"``; ``metrics``
     is the successful trial's ``summary_row()`` (empty otherwise);
     ``error``/``kind`` preserve the failure message and exception class
-    name for post-mortems; ``attempt`` is the retry provenance.
+    name for post-mortems; ``attempt`` is the retry provenance;
+    ``digest`` is the trial's SHA-256 run fingerprint when the sweep ran
+    with ``digests=True`` (empty otherwise) — the equivalence oracle a
+    resumed service job is checked against.
     """
 
     x: float
@@ -70,6 +88,7 @@ class TrialRecord:
     metrics: Dict[str, float] = field(default_factory=dict)
     error: str = ""
     kind: str = ""
+    digest: str = ""
 
     @property
     def key(self) -> Key:
@@ -89,6 +108,7 @@ class TrialRecord:
             "metrics": dict(self.metrics),
             "error": self.error,
             "kind": self.kind,
+            "digest": self.digest,
         }
 
     @classmethod
@@ -101,6 +121,7 @@ class TrialRecord:
             metrics=dict(data.get("metrics", {})),
             error=data.get("error", ""),
             kind=data.get("kind", ""),
+            digest=data.get("digest", ""),
         )
 
 
@@ -108,16 +129,22 @@ def _canonical(payload: Dict) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def encode_record(record: TrialRecord) -> str:
-    """One journal line: the record payload wrapped with its CRC-32."""
-    body = _canonical(record.payload())
+def frame_line(payload: Dict) -> str:
+    """Wrap one JSON-able payload as a CRC-32-framed journal line.
+
+    Generic over the payload schema: the trial journal and the service's
+    durable job queue both write this frame, so both inherit the same
+    torn-tail/corrupt-record recovery semantics.
+    """
+    body = _canonical(payload)
     crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
     return f'{{"crc":{crc},"record":{body}}}'
 
 
-def decode_record(line: str) -> TrialRecord:
-    """Parse one journal line, raising :class:`JournalError` on any damage
-    (malformed JSON, missing fields, CRC mismatch)."""
+def unframe_line(line: str) -> Dict:
+    """Verify and unwrap one CRC-framed line, raising
+    :class:`~repro.errors.JournalError` on malformed JSON or a CRC
+    mismatch."""
     try:
         wrapper = json.loads(line)
         crc = wrapper["crc"]
@@ -129,10 +156,78 @@ def decode_record(line: str) -> TrialRecord:
         raise JournalError(
             f"journal record CRC mismatch (stored {crc}, computed {actual})"
         )
+    if not isinstance(body, dict):
+        raise JournalError(
+            f"journal record payload must be an object, got {type(body).__name__}"
+        )
+    return body
+
+
+def encode_record(record: TrialRecord) -> str:
+    """One journal line: the record payload wrapped with its CRC-32."""
+    return frame_line(record.payload())
+
+
+def decode_record(line: str) -> TrialRecord:
+    """Parse one journal line, raising :class:`JournalError` on any damage
+    (malformed JSON, missing fields, CRC mismatch)."""
+    body = unframe_line(line)
     try:
         return TrialRecord.from_payload(body)
     except (KeyError, TypeError) as exc:
         raise JournalError(f"journal record missing fields: {exc}") from exc
+
+
+class WriterLock:
+    """An exclusive, non-blocking ``flock`` on a sidecar ``.lock`` file.
+
+    One durable file, one writer: the lock is acquired the moment a
+    journal (or the service's job queue) first writes, and a second
+    writer — another process *or* another handle in the same process —
+    fails fast with :class:`~repro.errors.JournalError` instead of
+    interleaving frames.  The sidecar (never the data file itself) is
+    locked because checkpointing atomically replaces the data file's
+    inode, which would silently drop a lock held on it.
+
+    On platforms without ``fcntl`` the lock degrades to a no-op (the
+    durability format stays valid; only the two-writer guard is lost).
+    """
+
+    def __init__(self, path) -> None:
+        #: The data file this lock guards; the sidecar is ``<path>.lock``.
+        self.path = Path(path)
+        self.lock_path = self.path.with_suffix(self.path.suffix + ".lock")
+        self._handle = None
+
+    @property
+    def held(self) -> bool:
+        return self._handle is not None
+
+    def acquire(self) -> None:
+        """Take the exclusive lock, or raise :class:`JournalError` if any
+        other writer (process or handle) already holds it."""
+        if self._handle is not None or fcntl is None:
+            return
+        self.lock_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = self.lock_path.open("a")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            handle.close()
+            raise JournalError(
+                f"{self.path} already has a writer (flock on "
+                f"{self.lock_path} is held); refusing to interleave frames"
+            ) from exc
+        self._handle = handle
+
+    def release(self) -> None:
+        if self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._handle.close()
+            self._handle = None
 
 
 @dataclass(frozen=True)
@@ -181,6 +276,7 @@ class SweepJournal:
         self._records: Dict[Key, TrialRecord] = {}
         self._recovery = JournalRecovery()
         self._handle = None
+        self._lock = WriterLock(self.path)
 
     # ------------------------------------------------------------------
     # Reading
@@ -239,6 +335,7 @@ class SweepJournal:
 
     def _open(self):
         if self._handle is None:
+            self._lock.acquire()
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("a", encoding="utf-8")
         return self._handle
@@ -264,6 +361,7 @@ class SweepJournal:
         instant see either the old journal or the new one, never a
         partial file.
         """
+        self._lock.acquire()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -278,6 +376,7 @@ class SweepJournal:
 
     def discard(self) -> None:
         """Delete the journal (the ``fresh=True`` path) and forget state."""
+        self._lock.acquire()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -287,12 +386,14 @@ class SweepJournal:
         self._recovery = JournalRecovery()
 
     def close(self, checkpoint: bool = True) -> None:
-        """Flush and close; by default leaves a compacted checkpoint."""
+        """Flush, close, and release the writer lock; by default leaves a
+        compacted checkpoint."""
         if checkpoint and self._records:
             self.checkpoint()
         elif self._handle is not None:
             self._handle.close()
             self._handle = None
+        self._lock.release()
 
     # ------------------------------------------------------------------
     # Signal safety
@@ -407,8 +508,11 @@ def checkpointed_sweep(
     jobs: int = 1,
     policy: Optional["ResiliencePolicy"] = None,
     fresh: bool = False,
+    digests: bool = False,
     on_trial_error: Optional[Callable] = None,
     on_progress: Optional[Callable] = None,
+    on_point: Optional[Callable[[float, "SweepPoint"], None]] = None,
+    on_report: Optional[Callable] = None,
 ) -> List[PointSummary]:
     """A sweep that journals each finished trial and resumes on rerun.
 
@@ -420,6 +524,18 @@ def checkpointed_sweep(
     discards the journal first.  SIGTERM/SIGINT during the run leave a
     compacted checkpoint behind (:meth:`SweepJournal.guarded`), and the
     normal exit path writes one too.
+
+    ``digests=True`` fingerprints every trial (``sweep(..., digests=
+    True)``) and stores the SHA-256 digest in its journal record, so a
+    resumed run — the sweep service after a daemon crash — can be
+    checked bit-for-bit against an undisturbed foreground run.
+
+    ``on_point`` observes each newly-executed x's
+    :class:`~repro.experiments.sweep.SweepPoint` (skipped x values whose
+    trials were all journaled are not re-reported); ``on_report``
+    receives each per-x :class:`~repro.experiments.resilience.
+    SupervisionReport` when a ``policy`` is active — merge them with
+    :meth:`~repro.experiments.resilience.SupervisionReport.merged`.
 
     Returns a :class:`PointSummary` per requested x, in request order.
     A point whose trials all failed summarizes with ``metrics == {}``
@@ -452,8 +568,10 @@ def checkpointed_sweep(
                     settings=settings,
                     jobs=jobs,
                     policy=policy,
+                    digests=digests,
                     on_trial_error=on_trial_error,
                     on_progress=on_progress,
+                    on_report=on_report,
                 )
                 point = points[0]
                 for run in point.runs:
@@ -464,6 +582,7 @@ def checkpointed_sweep(
                         }
                     except AnalysisError:  # pragma: no cover - defensive
                         metrics = {}
+                    fingerprint = getattr(run, "fingerprint", None)
                     journal.append(
                         TrialRecord(
                             x=x,
@@ -471,11 +590,18 @@ def checkpointed_sweep(
                             status="ok",
                             attempt=getattr(run, "attempt", 1),
                             metrics=metrics,
+                            digest=(
+                                fingerprint.digest
+                                if fingerprint is not None
+                                else ""
+                            ),
                         )
                     )
                 for failure in point.failures:
                     journal.append(record_of_failure(failure))
                 completed = journal.records
+                if on_point is not None:
+                    on_point(x, point)
     finally:
         if owns_journal:
             journal.close()

@@ -24,7 +24,12 @@ the anonymous pool with a *supervised* executor:
 
 Retry/timeout/restart counts are accumulated in a
 :class:`~repro.telemetry.registry.MetricsRegistry` and surfaced as a
-:class:`SupervisionReport` (see :func:`last_report`).
+:class:`SupervisionReport`, returned by :func:`run_tasks_supervised` and
+threaded to callers through ``sweep(..., on_report=...)`` — one report
+per supervised sweep, owned by that sweep's caller, so a daemon running
+many concurrent sweeps never sees another job's counters.  (The older
+process-wide :func:`last_report` accessor survives as a deprecated
+shim.)
 
 Determinism boundary: this file is harness-side supervision *about* the
 simulation, never inside it — like :mod:`repro.telemetry.profiler` it is
@@ -178,16 +183,58 @@ class SupervisionReport:
             f"({self.worker_restarts} restarts), {self.exhausted} exhausted"
         )
 
+    def merged(self, other: "SupervisionReport") -> "SupervisionReport":
+        """Combine two reports (counts sum, telemetry snapshots aggregate).
 
-#: The most recent supervised run's report, per process.  Harness-side
-#: observability only: sweeps return plain point lists, so the CLI and
-#: tests read the counters from here after the fact.
+        The reduction for callers that supervise several sweeps — the
+        journaled resume loop runs one sweep per x, the service daemon
+        one per job segment — and want a single roll-up.
+        """
+        snapshots = [
+            snap for snap in (self.metrics, other.metrics) if snap is not None
+        ]
+        return SupervisionReport(
+            trials=self.trials + other.trials,
+            completed=self.completed + other.completed,
+            retries=self.retries + other.retries,
+            timeouts=self.timeouts + other.timeouts,
+            worker_deaths=self.worker_deaths + other.worker_deaths,
+            worker_restarts=self.worker_restarts + other.worker_restarts,
+            exhausted=self.exhausted + other.exhausted,
+            metrics=(
+                MetricsSnapshot.aggregate(snapshots) if snapshots else None
+            ),
+        )
+
+
+#: Deprecated: the most recent supervised run's report, per process.
+#: Kept only so :func:`last_report` keeps answering; new code receives
+#: reports through ``sweep(..., on_report=...)`` /
+#: :func:`run_tasks_supervised`'s return value instead — a process-wide
+#: global is wrong once one daemon runs many concurrent sweeps.
 _LAST_REPORT: Optional[SupervisionReport] = None
 
 
 def last_report() -> Optional[SupervisionReport]:
-    """The :class:`SupervisionReport` of the most recent supervised sweep
-    executed in this process (``None`` before the first one)."""
+    """Deprecated: the report of the most recent supervised sweep in this
+    process (``None`` before the first one).
+
+    .. deprecated::
+        Process-global state cannot distinguish concurrent sweeps (the
+        service daemon runs many).  Pass ``on_report=`` to
+        :func:`~repro.experiments.sweep.sweep` /
+        :func:`~repro.experiments.journal.checkpointed_sweep`, or use the
+        report returned by :func:`run_tasks_supervised`.
+    """
+    import warnings
+
+    warnings.warn(
+        "last_report() is deprecated: receive SupervisionReports through "
+        "sweep(..., on_report=...) or run_tasks_supervised()'s return "
+        "value instead of process-global state",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _LAST_REPORT
 
 

@@ -55,7 +55,13 @@ from ..core import LoopStudyResult
 from ..errors import AnalysisError, SimulationError
 from ..util.stats import mean
 from .config import RunSettings
-from .resilience import ResiliencePolicy, run_tasks_supervised, run_trial_resilient
+from .resilience import (
+    ResiliencePolicy,
+    SupervisionReport,
+    _publish_report,
+    run_tasks_supervised,
+    run_trial_resilient,
+)
 from .runner import ExperimentRun, run_experiment
 from .scenarios import Scenario
 
@@ -345,6 +351,7 @@ def sweep(
     digests: bool = False,
     on_progress: Optional[ProgressCallback] = None,
     policy: Optional[ResiliencePolicy] = None,
+    on_report: Optional[Callable[[SupervisionReport], None]] = None,
 ) -> List[SweepPoint]:
     """Run ``len(xs) × len(seeds)`` experiments and group them by x.
 
@@ -392,8 +399,16 @@ def sweep(
     attempt/elapsed provenance — an in-process trial cannot be preempted
     or survive its own crash.  A retried trial re-runs the *identical*
     :class:`TrialTask`, so resilience never perturbs ``digests=True``
-    equivalence.  Supervision counters land in
-    :func:`~repro.experiments.resilience.last_report`.
+    equivalence.
+
+    ``on_report`` receives this sweep's
+    :class:`~repro.experiments.resilience.SupervisionReport` once the
+    sweep finishes (only when ``policy`` is set; the jobs=1 path
+    synthesizes a report with zero supervision activity).  This is the
+    report's home — each sweep's caller owns its own counters, so
+    concurrent sweeps in one process never alias.  The deprecated
+    :func:`~repro.experiments.resilience.last_report` shim still mirrors
+    the most recent report.
     """
     if not xs:
         raise AnalysisError("sweep needs at least one x value")
@@ -418,6 +433,7 @@ def sweep(
                 )
             )
 
+    report: Optional[SupervisionReport] = None
     if jobs == 1:
         outcomes: Dict[int, TrialOutcome] = {}
         for task in tasks:
@@ -438,13 +454,22 @@ def sweep(
                         ok=not isinstance(outcome, TrialFailure),
                     )
                 )
+        if policy is not None:
+            # In-process trials cannot be preempted or restarted, so the
+            # report records completions only — zero supervision events.
+            report = SupervisionReport(
+                trials=len(tasks), completed=len(outcomes)
+            )
+            _publish_report(report)
     elif policy is not None:
         _check_tasks_picklable(tasks[0])
-        outcomes, _report = run_tasks_supervised(
+        outcomes, report = run_tasks_supervised(
             tasks, jobs, policy, on_progress=on_progress
         )
     else:
         outcomes = _run_tasks_parallel(tasks, jobs, on_progress)
+    if on_report is not None and report is not None:
+        on_report(report)
 
     # Deterministic reassembly: walk tasks in submission order — the
     # REP103-clean path that makes jobs=N output identical to jobs=1.

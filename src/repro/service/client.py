@@ -1,0 +1,118 @@
+"""Blocking client for the sweep service daemon.
+
+Deliberately synchronous: CLI verbs and tests talk to the daemon with
+plain sockets and a line-buffered reader, no event loop required on the
+client side.  One request per connection, mirroring the protocol's
+contract.
+
+Failure mapping: a missing socket, a connection refusal (daemon died but
+the socket file lingers), and an ``{"ok": false}`` reply all surface as
+:class:`~repro.errors.ServiceError` with the daemon's message — callers
+handle exactly one exception type.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ServiceError
+from .protocol import MAX_LINE, decode, encode
+from .state import ServiceState
+
+
+class ServiceClient:
+    """Talks to the daemon serving one state directory."""
+
+    def __init__(self, state_dir, timeout: Optional[float] = 60.0) -> None:
+        self.state = ServiceState(state_dir)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        path = self.state.require_socket()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(str(path))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot connect to service daemon at {path}: {exc}"
+            ) from exc
+        return sock
+
+    @staticmethod
+    def _read_line(stream) -> bytes:
+        line = stream.readline(MAX_LINE + 1)
+        if not line:
+            raise ServiceError("service daemon closed the connection")
+        if len(line) > MAX_LINE:
+            raise ServiceError("service daemon reply exceeded the line limit")
+        return line
+
+    @staticmethod
+    def _checked(reply: Dict) -> Dict:
+        if not reply.get("ok", False):
+            raise ServiceError(
+                reply.get("error", "service daemon refused the request")
+            )
+        return reply
+
+    def request(self, message: Dict) -> Dict:
+        """One request, one reply.  Raises :class:`ServiceError` on refusal."""
+        sock = self._connect()
+        try:
+            sock.sendall(encode(message))
+            with sock.makefile("rb") as stream:
+                return self._checked(decode(self._read_line(stream)))
+        except socket.timeout as exc:
+            raise ServiceError(
+                f"service daemon did not reply within {self.timeout}s"
+            ) from exc
+        finally:
+            sock.close()
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def ping(self) -> Dict:
+        return self.request({"op": "ping"})
+
+    def submit(self, spec: Dict) -> str:
+        """Submit a job spec; returns the assigned job id."""
+        return self.request({"op": "submit", "spec": spec})["job"]
+
+    def jobs(self) -> List[Dict]:
+        return self.request({"op": "jobs"})["jobs"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self.request({"op": "cancel", "job": job_id})
+
+    def shutdown(self) -> Dict:
+        return self.request({"op": "shutdown"})
+
+    def watch(self, job_id: str) -> Iterator[Dict]:
+        """Yield the job's event stream until its terminal ``end`` event.
+
+        The generator owns the connection; breaking out of the loop (or
+        closing the generator) closes it.  Watching uses no timeout —
+        a long quiet stretch mid-sweep is normal.
+        """
+        sock = self._connect()
+        sock.settimeout(None)
+        try:
+            sock.sendall(encode({"op": "watch", "job": job_id}))
+            with sock.makefile("rb") as stream:
+                self._checked(decode(self._read_line(stream)))
+                while True:
+                    event = decode(self._read_line(stream))
+                    yield event
+                    if event.get("event") == "end":
+                        return
+        finally:
+            sock.close()

@@ -1,0 +1,295 @@
+"""Job execution: specs in, events out, artifacts on disk.
+
+One function per job kind, dispatched by :func:`execute_job`.  The
+executor is deliberately synchronous — the daemon runs it on a worker
+thread (``asyncio.to_thread``) so the socket loop stays responsive —
+and communicates outward only through:
+
+* the ``publish`` callback (events from :mod:`repro.service.events`),
+* the job's trial journal / artifact directory on disk,
+* its :class:`ExecutionOutcome` return value.
+
+Sweep jobs run through :func:`~repro.experiments.journal.
+checkpointed_sweep` against the job's own journal, with per-trial
+digests on.  That single decision is what buys the service its headline
+property: after ``kill -9``, re-executing the job re-runs only the
+missing ``(x, seed)`` trials, and the journal's digests are directly
+comparable to an undisturbed foreground run of the same plan.
+
+Cancellation is cooperative: the daemon's ``should_cancel`` callback is
+polled at every trial completion, and a positive answer raises
+:class:`JobCancelled` — the journal checkpoint in the ``finally`` block
+keeps everything finished so far, so a cancelled job resubmitted later
+resumes rather than restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ReproError, ServiceError
+from ..experiments import SweepJournal, checkpointed_sweep
+from ..telemetry import MetricsSnapshot, Timeline
+from .events import log_event, point_event, snapshot_event, trial_event
+from .jobs import JobView, resolve_sweep_plan
+from .state import ServiceState
+
+
+class JobCancelled(ReproError):
+    """Raised inside the executor when the daemon requests cancellation."""
+
+
+@dataclass
+class ExecutionOutcome:
+    """What a finished (or cancelled/failed) job leaves behind."""
+
+    state: str  # done / failed / cancelled
+    detail: Dict = field(default_factory=dict)
+
+
+def sweep_digest(records: Dict) -> str:
+    """One SHA-256 over a journal's per-trial digests.
+
+    The combined fingerprint of a whole sweep: equal iff the two record
+    sets cover the same ``(x, seed)`` keys with identical per-trial
+    digests.  Used to compare a service run (possibly SIGKILLed and
+    resumed) against an undisturbed foreground run.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(records):
+        record = records[key]
+        digest.update(f"{record.x!r}:{record.seed}:{record.digest}\n".encode())
+    return digest.hexdigest()
+
+
+def _noop_publish(event: Dict) -> None:
+    return None
+
+
+def _never_cancel() -> bool:
+    return False
+
+
+def execute_sweep(
+    view: JobView,
+    state: ServiceState,
+    publish: Callable[[Dict], None] = _noop_publish,
+    should_cancel: Callable[[], bool] = _never_cancel,
+) -> ExecutionOutcome:
+    """Run (or resume) one sweep job against its durable trial journal."""
+    plan = resolve_sweep_plan(view.spec.params)
+    job_id = view.job_id
+    journal = SweepJournal(state.journal_path(job_id))
+    timeline = Timeline()
+    started = time.monotonic()
+    snapshots: List[MetricsSnapshot] = []
+    reports: List = []
+    counts = {"ok": 0, "failed": 0}
+
+    def on_progress(progress) -> None:
+        if should_cancel():
+            raise JobCancelled(f"job {job_id} cancelled")
+        counts["ok" if progress.ok else "failed"] += 1
+        timeline.instant(
+            time.monotonic() - started,
+            f"trial x={progress.x:g} seed={progress.seed}",
+            "service.trial",
+            ok=progress.ok,
+            done=progress.done,
+            total=progress.total,
+        )
+        publish(
+            trial_event(job_id, progress.x, progress.seed, progress.ok)
+        )
+
+    def on_point(x: float, point) -> None:
+        snapshots.append(point.telemetry())
+        try:
+            stats = point.metrics()
+        except ReproError:
+            stats = {}
+        timeline.instant(
+            time.monotonic() - started,
+            f"point x={x:g}",
+            "service.point",
+            succeeded=point.succeeded,
+            failed=point.failed,
+        )
+        publish(
+            point_event(
+                job_id,
+                x,
+                {
+                    "succeeded": point.succeeded,
+                    "failed": point.failed,
+                    "timeouts": point.timeouts,
+                    "metrics": stats,
+                },
+            )
+        )
+
+    try:
+        summaries = checkpointed_sweep(
+            plan.xs,
+            plan.make_scenario,
+            plan.make_config,
+            journal=journal,
+            seeds=plan.seeds,
+            settings=plan.settings,
+            jobs=plan.jobs,
+            policy=plan.policy,
+            digests=plan.digests,
+            on_progress=on_progress,
+            on_point=on_point,
+            on_report=reports.append,
+        )
+    finally:
+        # Checkpoint whatever finished — this is the resume point after
+        # a cancel, a trial-level crash, or a daemon SIGKILL mid-close.
+        journal.close()
+
+    records = journal.records
+    combined = sweep_digest(records) if plan.digests else ""
+
+    aggregate = MetricsSnapshot.aggregate(snapshots)
+    supervision = None
+    for report in reports:
+        supervision = report if supervision is None else supervision.merged(report)
+    if supervision is not None and supervision.metrics is not None:
+        aggregate = MetricsSnapshot.aggregate(
+            [aggregate, supervision.metrics]
+        )
+    publish(snapshot_event(job_id, aggregate))
+
+    state.artifact_dir(job_id).mkdir(parents=True, exist_ok=True)
+    timeline.span(
+        0.0, time.monotonic() - started, f"job {job_id}", "service.job"
+    )
+    trace_path = state.artifact_dir(job_id) / "timeline.json"
+    timeline.write_chrome_trace(str(trace_path), process_name=f"repro-{job_id}")
+    publish(log_event(job_id, f"timeline artifact: {trace_path}"))
+
+    detail: Dict = {
+        "points": len(summaries),
+        "trials": len(records),
+        "ok": sum(1 for record in records.values() if record.ok),
+        "failed": sum(1 for record in records.values() if not record.ok),
+        "digest": combined,
+        "journal": str(journal.path),
+        "timeline": str(trace_path),
+    }
+    if supervision is not None:
+        detail["supervision"] = {
+            "trials": supervision.trials,
+            "completed": supervision.completed,
+            "retries": supervision.retries,
+            "worker_deaths": supervision.worker_deaths,
+            "timeouts": supervision.timeouts,
+        }
+    return ExecutionOutcome(state="done", detail=detail)
+
+
+def execute_figure(
+    view: JobView,
+    state: ServiceState,
+    publish: Callable[[Dict], None] = _noop_publish,
+    should_cancel: Callable[[], bool] = _never_cancel,
+) -> ExecutionOutcome:
+    """Render one paper figure into the job's artifact directory."""
+    import inspect
+
+    from ..cli import FIGURES, QUICK_FIGURE_KWARGS
+
+    figure_id = view.spec.params.get("id")
+    if figure_id not in FIGURES:
+        raise ServiceError(f"unknown figure {figure_id!r}")
+    if should_cancel():
+        raise JobCancelled(f"job {view.job_id} cancelled")
+    driver = FIGURES[figure_id]
+    quick = bool(view.spec.params.get("quick", True))
+    kwargs = dict(QUICK_FIGURE_KWARGS.get(figure_id, {})) if quick else {}
+    jobs = view.spec.params.get("jobs", 1)
+    if "jobs" in inspect.signature(driver).parameters:
+        kwargs["jobs"] = jobs
+    figure = driver(**kwargs)
+    rendered = figure.render()
+    directory = state.artifact_dir(view.job_id)
+    directory.mkdir(parents=True, exist_ok=True)
+    table_path = directory / f"{figure_id}.txt"
+    table_path.write_text(rendered + "\n", encoding="utf-8")
+    publish(log_event(view.job_id, f"figure artifact: {table_path}"))
+    failures = [str(check) for check in figure.check_failures()]
+    return ExecutionOutcome(
+        state="done",
+        detail={
+            "figure": figure_id,
+            "artifact": str(table_path),
+            "shape_failures": failures,
+        },
+    )
+
+
+def execute_bench(
+    view: JobView,
+    state: ServiceState,
+    publish: Callable[[Dict], None] = _noop_publish,
+    should_cancel: Callable[[], bool] = _never_cancel,
+) -> ExecutionOutcome:
+    """Run one continuous-benchmarking cycle and record the trajectory."""
+    from .bench import run_bench_cycle
+
+    if should_cancel():
+        raise JobCancelled(f"job {view.job_id} cancelled")
+    params = view.spec.params
+    cycle = run_bench_cycle(
+        targets=params.get("targets") or None,
+        repeat=int(params.get("repeat", 1)),
+        bench_dir=params.get("bench_dir"),
+        results_dir=params.get("results_dir"),
+        publish=lambda message: publish(log_event(view.job_id, message)),
+    )
+    return ExecutionOutcome(
+        state="done" if cycle.ok else "failed",
+        detail=cycle.summary(),
+    )
+
+
+_EXECUTORS = {
+    "sweep": execute_sweep,
+    "figure": execute_figure,
+    "bench": execute_bench,
+}
+
+
+def execute_job(
+    view: JobView,
+    state: ServiceState,
+    publish: Callable[[Dict], None] = _noop_publish,
+    should_cancel: Callable[[], bool] = _never_cancel,
+) -> ExecutionOutcome:
+    """Dispatch one job to its kind's executor.
+
+    Returns the outcome instead of raising: failures come back as
+    ``state="failed"`` with the error message in ``detail``, and a
+    :class:`JobCancelled` comes back as ``state="cancelled"`` — the
+    daemon turns these into queue transitions and ``end`` events.
+    """
+    try:
+        runner = _EXECUTORS[view.spec.kind]
+    except KeyError:
+        return ExecutionOutcome(
+            state="failed",
+            detail={"error": f"unknown job kind {view.spec.kind!r}"},
+        )
+    try:
+        return runner(view, state, publish, should_cancel)
+    except JobCancelled:
+        return ExecutionOutcome(state="cancelled", detail={})
+    except ReproError as exc:
+        return ExecutionOutcome(
+            state="failed",
+            detail={"error": str(exc), "kind": type(exc).__name__},
+        )

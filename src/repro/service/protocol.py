@@ -1,0 +1,89 @@
+"""Wire protocol: newline-delimited JSON over a Unix-domain socket.
+
+One request per connection.  The client sends a single JSON object plus
+``\\n``; the daemon replies with one JSON object per line.  For most ops
+the reply is a single line; ``watch`` keeps the connection open and
+streams event lines until a terminal ``{"event": "end", ...}``.
+
+Requests:
+
+.. code-block:: text
+
+    {"op": "ping"}
+    {"op": "submit", "spec": {"kind": "sweep", "params": {...}}}
+    {"op": "jobs"}
+    {"op": "watch", "job": "job-3"}
+    {"op": "cancel", "job": "job-3"}
+    {"op": "shutdown"}
+
+Replies carry ``{"ok": true, ...}`` on success or
+``{"ok": false, "error": "..."}`` on refusal.  Protocol errors never
+kill the daemon — a malformed line gets an error reply and the
+connection closes.
+
+This module is dependency-light on purpose: both the daemon (asyncio)
+and the client (blocking sockets) import it, and nothing here touches
+the event loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from ..errors import ServiceError
+
+#: Operations the daemon accepts.
+OPS = ("ping", "submit", "jobs", "watch", "cancel", "shutdown")
+
+#: Maximum request line length — a submit spec is small; anything larger
+#: is a confused or hostile client, refused before parsing.
+MAX_LINE = 1 << 20
+
+
+def encode(message: Dict) -> bytes:
+    """One protocol line: compact JSON plus the newline terminator."""
+    return (json.dumps(message, separators=(",", ":"), sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode(line: bytes) -> Dict:
+    """Parse one protocol line, raising :class:`ServiceError` on garbage."""
+    if len(line) > MAX_LINE:
+        raise ServiceError(f"protocol line too long ({len(line)} bytes)")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"protocol message must be a JSON object, got "
+            f"{type(message).__name__}"
+        )
+    return message
+
+
+def parse_request(line: bytes) -> Dict:
+    """Decode and structurally validate one request line."""
+    request = decode(line)
+    op = request.get("op")
+    if op not in OPS:
+        raise ServiceError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    if op in ("watch", "cancel") and not isinstance(request.get("job"), str):
+        raise ServiceError(f"op {op!r} needs a 'job' string")
+    if op == "submit" and not isinstance(request.get("spec"), dict):
+        raise ServiceError("op 'submit' needs a 'spec' object")
+    return request
+
+
+def ok(**fields) -> Dict:
+    reply = {"ok": True}
+    reply.update(fields)
+    return reply
+
+
+def error(message: str) -> Dict:
+    return {"ok": False, "error": message}

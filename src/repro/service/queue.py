@@ -1,0 +1,254 @@
+"""Durable job queue: the service's system of record for job lifecycle.
+
+The queue is an append-only CRC-framed JSONL file (the same framing as
+trial journals — :func:`~repro.experiments.journal.frame_line`), holding
+two record shapes:
+
+.. code-block:: text
+
+    {"crc": N, "record": {"op": "submit", "id": "job-3", "spec": {...}, "ts": T}}
+    {"crc": N, "record": {"op": "state", "id": "job-3", "state": "running",
+                          "detail": {...}, "ts": T}}
+
+Every append is flushed and fsynced before the call returns, so a job
+acknowledged to a client survives ``kill -9`` of the daemon.  Replay
+folds the log into latest-state :class:`~repro.service.jobs.JobView`
+objects; a torn final line (daemon killed mid-write) is truncated away
+exactly like a trial journal's torn tail.  A :class:`~repro.experiments.
+journal.WriterLock` sidecar makes concurrent daemons on one queue fail
+fast instead of interleaving frames.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import JournalError, ServiceError
+from ..experiments.journal import WriterLock, frame_line, unframe_line
+from .jobs import (
+    QUEUED,
+    JOB_STATES,
+    JobSpec,
+    JobView,
+    job_sort_key,
+)
+
+
+class DurableJobQueue:
+    """Append-only job log with replay, for one service state directory."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lock = WriterLock(self.path)
+        self._handle = None
+        self._jobs: Dict[str, JobView] = {}
+        self._next_id = 1
+        self._replay()
+
+    # -- replay ---------------------------------------------------------
+
+    def _replay(self) -> None:
+        """Fold the log into job views, truncating a torn tail."""
+        self._jobs = {}
+        if not self.path.exists():
+            return
+        good = 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.rstrip("\n")
+                if not line:
+                    continue
+                try:
+                    record = unframe_line(line)
+                except JournalError:
+                    break  # torn or corrupt tail: everything after is suspect
+                self._apply(record)
+                good += len(raw.encode("utf-8"))
+        size = self.path.stat().st_size
+        if good < size:
+            with self.path.open("r+b") as handle:
+                handle.truncate(good)
+                handle.flush()
+                os.fsync(handle.fileno())
+        if self._jobs:
+            numeric = [
+                int(job_id.split("-", 1)[1])
+                for job_id in self._jobs
+                if job_id.startswith("job-") and job_id.split("-", 1)[1].isdigit()
+            ]
+            if numeric:
+                self._next_id = max(numeric) + 1
+
+    def _apply(self, record: Dict) -> None:
+        op = record.get("op")
+        job_id = record.get("id", "")
+        ts = float(record.get("ts", 0.0))
+        if op == "submit":
+            spec = JobSpec.from_json(record.get("spec", {}))
+            self._jobs[job_id] = JobView(
+                job_id=job_id, spec=spec, state=QUEUED, submitted=ts, updated=ts
+            )
+        elif op == "state":
+            view = self._jobs.get(job_id)
+            if view is None:
+                return  # state for a compacted-away or unknown job
+            state = record.get("state", "")
+            if state in JOB_STATES:
+                view.state = state
+            view.updated = ts
+            detail = record.get("detail")
+            if isinstance(detail, dict):
+                view.detail = dict(detail)
+
+    # -- writing --------------------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            self._lock.acquire()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        return self._handle
+
+    def _append(self, record: Dict) -> None:
+        handle = self._open()
+        handle.write(frame_line(record) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def submit(self, spec: JobSpec, now: Optional[float] = None) -> JobView:
+        """Durably record a new job and return its view."""
+        ts = time.time() if now is None else now
+        job_id = f"job-{self._next_id}"
+        self._next_id += 1
+        self._append(
+            {"op": "submit", "id": job_id, "spec": spec.to_json(), "ts": ts}
+        )
+        view = JobView(
+            job_id=job_id, spec=spec, state=QUEUED, submitted=ts, updated=ts
+        )
+        self._jobs[job_id] = view
+        return view
+
+    def transition(
+        self,
+        job_id: str,
+        state: str,
+        detail: Optional[Dict] = None,
+        now: Optional[float] = None,
+    ) -> JobView:
+        """Durably record a state change for an existing job."""
+        view = self.get(job_id)
+        if state not in JOB_STATES:
+            raise ServiceError(
+                f"unknown job state {state!r}; expected one of "
+                f"{', '.join(JOB_STATES)}"
+            )
+        ts = time.time() if now is None else now
+        payload: Dict = {"op": "state", "id": job_id, "state": state, "ts": ts}
+        if detail:
+            payload["detail"] = dict(detail)
+        self._append(payload)
+        view.state = state
+        view.updated = ts
+        if detail:
+            view.detail = dict(detail)
+        return view
+
+    # -- reading --------------------------------------------------------
+
+    def get(self, job_id: str) -> JobView:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> List[JobView]:
+        """All known jobs, oldest first."""
+        return [
+            self._jobs[job_id]
+            for job_id in sorted(self._jobs, key=job_sort_key)
+        ]
+
+    def pending(self) -> List[JobView]:
+        """Jobs still owed work (queued, or running when the daemon died)."""
+        return [view for view in self.jobs() if not view.terminal]
+
+    # -- compaction -----------------------------------------------------
+
+    def compact(self, keep_terminal: int = 50) -> int:
+        """Atomically rewrite the log as one submit+state pair per job,
+        dropping all but the newest ``keep_terminal`` finished jobs.
+
+        Returns the number of jobs dropped.  Same tmp+rename+fsync dance
+        as a journal checkpoint, so a crash mid-compaction leaves either
+        the old log or the new one, never a hybrid.
+        """
+        self._open()
+        terminal = [view for view in self.jobs() if view.terminal]
+        drop = (
+            set(
+                view.job_id
+                for view in terminal[: len(terminal) - keep_terminal]
+            )
+            if keep_terminal >= 0 and len(terminal) > keep_terminal
+            else set()
+        )
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for view in self.jobs():
+                if view.job_id in drop:
+                    continue
+                handle.write(
+                    frame_line(
+                        {
+                            "op": "submit",
+                            "id": view.job_id,
+                            "spec": view.spec.to_json(),
+                            "ts": view.submitted,
+                        }
+                    )
+                    + "\n"
+                )
+                if view.state != QUEUED or view.detail:
+                    handle.write(
+                        frame_line(
+                            {
+                                "op": "state",
+                                "id": view.job_id,
+                                "state": view.state,
+                                "detail": dict(view.detail),
+                                "ts": view.updated,
+                            }
+                        )
+                        + "\n"
+                    )
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        os.replace(tmp, self.path)
+        dir_fd = os.open(str(self.path.parent), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        for job_id in drop:
+            del self._jobs[job_id]
+        self._open()
+        return len(drop)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._lock.release()
+
+    def __enter__(self) -> "DurableJobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,151 @@
+"""The baseline gate: ``compare_baselines.py`` report shapes, table
+rendering, and the exit-code contract (0 ok / 1 regressed / 2 bad input)
+that CI and the sweep service script against."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+
+from compare_baselines import (
+    EXIT_BAD_INPUT,
+    EXIT_OK,
+    EXIT_REGRESSED,
+    ComparisonError,
+    compare_documents,
+    load,
+    main,
+    render_table,
+)
+
+
+def document(**walls) -> dict:
+    return {
+        "schema": 1,
+        "results": {
+            name: {
+                "wall_clock_s": wall,
+                "updates": 100,
+                "updates_per_s": 100 / wall,
+            }
+            for name, wall in walls.items()
+        },
+    }
+
+
+class TestCompareDocuments:
+    def test_identical_documents_pass(self):
+        report = compare_documents(document(a=0.1, b=0.2), document(a=0.1, b=0.2))
+        assert report["ok"] is True
+        assert report["regressions"] == 0
+        assert report["schema_match"] is True
+        assert [s["status"] for s in report["scenarios"]] == ["ok", "ok"]
+
+    def test_growth_within_tolerance_passes(self):
+        report = compare_documents(document(a=0.100), document(a=0.120))
+        assert report["ok"] and report["scenarios"][0]["ratio"] == pytest.approx(1.2)
+
+    def test_growth_beyond_tolerance_regresses(self):
+        report = compare_documents(document(a=0.1), document(a=0.2))
+        [scenario] = report["scenarios"]
+        assert scenario["status"] == "regressed"
+        assert report["regressions"] == 1 and not report["ok"]
+
+    def test_speedup_passes(self):
+        report = compare_documents(document(a=0.2), document(a=0.05))
+        assert report["ok"]
+
+    def test_missing_scenario_regresses(self):
+        report = compare_documents(document(a=0.1, b=0.1), document(a=0.1))
+        missing = [s for s in report["scenarios"] if s["status"] == "missing"]
+        assert [s["name"] for s in missing] == ["b"]
+        assert report["regressions"] == 1
+
+    def test_extra_candidate_scenario_ignored(self):
+        report = compare_documents(document(a=0.1), document(a=0.1, b=9.9))
+        assert report["ok"] and len(report["scenarios"]) == 1
+
+    def test_custom_tolerance(self):
+        loose = compare_documents(document(a=0.1), document(a=0.18), tolerance=1.0)
+        assert loose["ok"]
+        strict = compare_documents(document(a=0.1), document(a=0.12), tolerance=0.1)
+        assert not strict["ok"]
+
+    def test_schema_mismatch_flagged_not_fatal(self):
+        candidate = document(a=0.1)
+        candidate["schema"] = 2
+        report = compare_documents(document(a=0.1), candidate)
+        assert report["ok"] and report["schema_match"] is False
+
+
+class TestLoad:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ComparisonError, match="does not exist"):
+            load(tmp_path / "absent.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ComparisonError, match="not valid JSON"):
+            load(path)
+
+    def test_no_results_mapping(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"schema": 1, "results": [1, 2]}))
+        with pytest.raises(ComparisonError, match="results"):
+            load(path)
+
+
+class TestRenderTable:
+    def test_mentions_every_scenario_and_verdict(self):
+        report = compare_documents(
+            document(fast=0.1, slow=0.1, gone=0.1),
+            document(fast=0.1, slow=0.9),
+        )
+        table = render_table(report)
+        assert "fast" in table and "ok" in table
+        assert "slow" in table and "REGRESSED" in table
+        assert "gone" in table and "MISSING" in table
+
+
+class TestMainExitCodes:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", document(a=0.1))
+        cand = self.write(tmp_path, "cand.json", document(a=0.1))
+        assert main([base, cand]) == EXIT_OK
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", document(a=0.1))
+        cand = self.write(tmp_path, "cand.json", document(a=0.9))
+        assert main([base, cand]) == EXIT_REGRESSED
+        assert "regressed" in capsys.readouterr().err
+
+    def test_bad_input_exit_two(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", document(a=0.1))
+        assert main([base, str(tmp_path / "absent.json")]) == EXIT_BAD_INPUT
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_format_parses_and_matches_library(self, tmp_path, capsys):
+        base_doc, cand_doc = document(a=0.1), document(a=0.9)
+        base = self.write(tmp_path, "base.json", base_doc)
+        cand = self.write(tmp_path, "cand.json", cand_doc)
+        code = main([base, cand, "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == EXIT_REGRESSED
+        assert report == compare_documents(base_doc, cand_doc)
+
+    def test_tolerance_flag(self, tmp_path):
+        base = self.write(tmp_path, "base.json", document(a=0.1))
+        cand = self.write(tmp_path, "cand.json", document(a=0.18))
+        assert main([base, cand, "--tolerance", "1.0"]) == EXIT_OK

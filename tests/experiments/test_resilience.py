@@ -182,6 +182,7 @@ class TestSupervisedExecutor:
             marker_dir=str(tmp_path),
             kill_key=(3, 0),
         )
+        reports = []
         points = sweep(
             [3],
             make_scenario,
@@ -190,12 +191,13 @@ class TestSupervisedExecutor:
             settings=SETTINGS,
             jobs=2,
             policy=ResiliencePolicy(max_retries=2, trial_timeout=SLACK),
+            on_report=reports.append,
         )
         assert points[0].succeeded == 2
         attempts = {run.seed: run.attempt for run in points[0].runs}
         assert attempts[0] == 2  # the killed trial was re-run
         assert attempts[1] == 1
-        report = last_report()
+        [report] = reports
         assert report.worker_deaths == 1
         assert report.worker_restarts == 1
         assert report.retries == 1
@@ -203,6 +205,7 @@ class TestSupervisedExecutor:
         assert report.metrics.counter("resilience.worker_deaths") == 1
 
     def test_hung_trial_times_out_and_is_recorded(self):
+        reports = []
         points = sweep(
             [3],
             chaos_helpers.hang_always_tdown,
@@ -213,6 +216,7 @@ class TestSupervisedExecutor:
             policy=ResiliencePolicy(
                 max_retries=0, trial_timeout=SNAP, backoff_base=0.01
             ),
+            on_report=reports.append,
         )
         assert points[0].succeeded == 0
         assert points[0].timeouts == 1
@@ -222,9 +226,10 @@ class TestSupervisedExecutor:
         assert failure.timeout == SNAP
         assert failure.attempt == 1
         assert failure.elapsed >= SNAP
-        assert last_report().timeouts == 1
+        assert reports[-1].timeouts == 1
 
     def test_hang_once_then_success(self, tmp_path):
+        reports = []
         make_scenario = partial(
             chaos_helpers.hang_once_tdown,
             marker_dir=str(tmp_path),
@@ -240,15 +245,17 @@ class TestSupervisedExecutor:
             policy=ResiliencePolicy(
                 max_retries=1, trial_timeout=SNAP, backoff_base=0.01
             ),
+            on_report=reports.append,
         )
         assert points[0].succeeded == 1
         assert points[0].runs[0].attempt == 2
-        report = last_report()
+        [report] = reports
         assert report.timeouts == 1
         assert report.retries == 1
         assert report.completed == 1
 
     def test_exhausted_worker_crash_recorded(self):
+        reports = []
         points = sweep(
             [3],
             chaos_helpers.kill_always_tdown,
@@ -259,12 +266,13 @@ class TestSupervisedExecutor:
             policy=ResiliencePolicy(
                 max_retries=1, backoff_base=0.01, trial_timeout=SLACK
             ),
+            on_report=reports.append,
         )
         failure = points[0].failures[0]
         assert isinstance(failure.error, WorkerCrashError)
         assert failure.error.exitcode == -9
         assert failure.attempt == 2
-        report = last_report()
+        [report] = reports
         assert report.worker_deaths == 2
         assert report.exhausted == 1
 
@@ -286,6 +294,7 @@ class TestSupervisedExecutor:
         """Deterministic failures (budget exhaustion) must come back as
         plain first-attempt TrialFailures — retrying them would waste
         the whole backoff budget failing identically."""
+        reports = []
         points = sweep(
             [3, 6],
             clique_tdown_trial,
@@ -294,11 +303,12 @@ class TestSupervisedExecutor:
             settings=TIGHT,
             jobs=2,
             policy=ResiliencePolicy(max_retries=3, trial_timeout=SLACK),
+            on_report=reports.append,
         )
         assert [(p.succeeded, p.failed) for p in points] == [(1, 0), (0, 1)]
         failure = points[1].failures[0]
         assert failure.attempt == 1
-        assert last_report().retries == 0
+        assert reports[-1].retries == 0
 
     def test_progress_callback_sees_every_trial(self):
         seen = []
@@ -317,3 +327,75 @@ class TestSupervisedExecutor:
         assert {(p.x, p.seed) for p in seen} == {
             (3, 0), (3, 1), (4, 0), (4, 1),
         }
+
+
+class TestReportThreading:
+    """SupervisionReports travel through return values, not globals."""
+
+    def test_jobs1_resilient_sweep_reports_zero_supervision(self):
+        reports = []
+        sweep(
+            [3],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0, 1),
+            settings=SETTINGS,
+            jobs=1,
+            policy=ResiliencePolicy(),
+            on_report=reports.append,
+        )
+        [report] = reports
+        assert report.trials == 2
+        assert report.completed == 2
+        assert (report.retries, report.timeouts, report.worker_deaths) == (
+            0, 0, 0,
+        )
+
+    def test_no_policy_means_no_report(self):
+        reports = []
+        sweep(
+            [3],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            jobs=1,
+            on_report=reports.append,
+        )
+        assert reports == []
+
+    def test_merged_sums_counts_and_aggregates_metrics(self):
+        from repro.experiments import SupervisionReport
+        from repro.telemetry import MetricsSnapshot
+
+        left = SupervisionReport(
+            trials=2, completed=2, retries=1, timeouts=1,
+            metrics=MetricsSnapshot(counters={"resilience.retries": 1}),
+        )
+        right = SupervisionReport(
+            trials=3, completed=2, worker_deaths=1, exhausted=1,
+            metrics=MetricsSnapshot(counters={"resilience.retries": 2}),
+        )
+        merged = left.merged(right)
+        assert merged.trials == 5
+        assert merged.completed == 4
+        assert merged.retries == 1
+        assert merged.timeouts == 1
+        assert merged.worker_deaths == 1
+        assert merged.exhausted == 1
+        assert merged.metrics.counter("resilience.retries") == 3
+
+    def test_last_report_shim_still_mirrors_and_deprecates(self):
+        sweep(
+            [3],
+            clique_tdown_trial,
+            MAKE_CONFIG,
+            seeds=(0,),
+            settings=SETTINGS,
+            jobs=1,
+            policy=ResiliencePolicy(),
+        )
+        with pytest.deprecated_call():
+            report = last_report()
+        assert report is not None
+        assert report.completed >= 1

@@ -28,7 +28,6 @@ from repro.experiments import (
     clique_tdown_trial,
     constant_config,
     factory_ref,
-    last_report,
     sweep,
 )
 
@@ -58,6 +57,7 @@ class TestChaoticDigestEquivalence:
             settings=SETTINGS,
             digests=True,
         )
+        reports = []
         chaotic = sweep(
             xs,
             partial(
@@ -74,6 +74,7 @@ class TestChaoticDigestEquivalence:
             policy=ResiliencePolicy(
                 max_retries=2, trial_timeout=1.5, backoff_base=0.01
             ),
+            on_report=reports.append,
         )
         assert all(point.succeeded == 2 for point in chaotic)
         assert all(point.failed == 0 for point in chaotic)
@@ -89,7 +90,7 @@ class TestChaoticDigestEquivalence:
         assert attempts[(3, 1)] == 1
         assert attempts[(4, 0)] == 1
 
-        report = last_report()
+        [report] = reports
         assert report.worker_deaths >= 1
         assert report.timeouts >= 1
         assert report.retries >= 2

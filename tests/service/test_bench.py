@@ -1,0 +1,219 @@
+"""Continuous benchmarking against a stub bench directory.
+
+The stub directory carries a tiny bench script that honors the real
+``--repeat``/``--output`` contract plus the *real* ``compare_baselines.py``
+(copied in), so the gating path exercised here is the one CI and the
+daemon run — only the measured workload is fake.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    JobSpec,
+    JobView,
+    ServiceState,
+    execute_job,
+)
+from repro.service.bench import (
+    BenchCycle,
+    BenchTarget,
+    TargetResult,
+    TrajectoryStore,
+    current_commit,
+    run_bench_cycle,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+STUB_SCRIPT = """\
+import argparse, json
+
+parser = argparse.ArgumentParser()
+parser.add_argument("--repeat", type=int, default=1)
+parser.add_argument("--output", required=True)
+args = parser.parse_args()
+assert args.repeat >= 1
+document = {
+    "schema": 1,
+    "results": {
+        "stub": {"wall_clock_s": 0.05, "updates": 100, "updates_per_s": 2000.0}
+    },
+}
+with open(args.output, "w") as handle:
+    json.dump(document, handle)
+"""
+
+
+def baseline_document(wall: float) -> dict:
+    return {
+        "schema": 1,
+        "results": {
+            "stub": {"wall_clock_s": wall, "updates": 100, "updates_per_s": 1.0}
+        },
+    }
+
+
+@pytest.fixture
+def bench_dir(tmp_path) -> Path:
+    """A stub benchmarks/ directory with a matching baseline (wall 0.05)."""
+    stub = tmp_path / "benchmarks"
+    (stub / "baselines").mkdir(parents=True)
+    (stub / "bench_stub.py").write_text(STUB_SCRIPT)
+    (stub / "baselines" / "BENCH_stub.json").write_text(
+        json.dumps(baseline_document(0.05))
+    )
+    shutil.copy(REPO_ROOT / "benchmarks" / "compare_baselines.py", stub)
+    return stub
+
+
+STUB_TARGET = BenchTarget(
+    name="stub",
+    script="bench_stub.py",
+    baseline="baselines/BENCH_stub.json",
+)
+
+
+class TestRunBenchCycle:
+    def test_matching_baseline_passes(self, bench_dir):
+        messages = []
+        cycle = run_bench_cycle(
+            targets=[STUB_TARGET], bench_dir=bench_dir, publish=messages.append
+        )
+        assert cycle.ok
+        [result] = cycle.results
+        assert result.name == "stub"
+        assert result.regressions == 0
+        assert result.wall_clock_s == {"stub": 0.05}
+        assert any("0 regression(s)" in message for message in messages)
+
+        # The cycle landed in the trajectory with provenance attached.
+        [record] = TrajectoryStore(
+            bench_dir / "results" / "perf_trajectory.jsonl"
+        ).records()
+        assert record["target"] == "stub"
+        assert record["ok"] is True
+        assert record["commit"]
+
+    def test_regression_fails_cycle(self, bench_dir):
+        (bench_dir / "baselines" / "BENCH_stub.json").write_text(
+            json.dumps(baseline_document(0.001))  # stub reports 0.05 → 50x
+        )
+        cycle = run_bench_cycle(targets=[STUB_TARGET], bench_dir=bench_dir)
+        assert not cycle.ok
+        [result] = cycle.results
+        assert result.regressions == 1
+        assert not result.error  # the bench ran fine; the gate said no
+        [record] = TrajectoryStore(
+            bench_dir / "results" / "perf_trajectory.jsonl"
+        ).records()
+        assert record["ok"] is False and record["regressions"] == 1
+
+    def test_unknown_target_name_rejected(self, bench_dir):
+        with pytest.raises(ServiceError, match="unknown bench target"):
+            run_bench_cycle(targets=["mystery"], bench_dir=bench_dir)
+
+    def test_missing_script_reported_not_raised(self, bench_dir):
+        broken = BenchTarget(
+            name="ghost", script="bench_ghost.py", baseline=STUB_TARGET.baseline
+        )
+        cycle = run_bench_cycle(targets=[broken], bench_dir=bench_dir)
+        assert not cycle.ok
+        assert "missing bench script" in cycle.results[0].error
+
+    def test_crashing_script_reported_not_raised(self, bench_dir):
+        (bench_dir / "bench_stub.py").write_text("raise SystemExit(3)\n")
+        cycle = run_bench_cycle(targets=[STUB_TARGET], bench_dir=bench_dir)
+        assert not cycle.ok
+        assert "exited 3" in cycle.results[0].error
+
+    def test_missing_bench_dir_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="does not exist"):
+            run_bench_cycle(bench_dir=tmp_path / "nope")
+
+    def test_custom_results_dir(self, bench_dir, tmp_path):
+        results = tmp_path / "elsewhere"
+        run_bench_cycle(
+            targets=[STUB_TARGET], bench_dir=bench_dir, results_dir=results
+        )
+        assert TrajectoryStore(results / "perf_trajectory.jsonl").records()
+
+
+class TestBenchJob:
+    def test_bench_job_through_executor(self, bench_dir, tmp_path):
+        state = ServiceState(tmp_path / "state")
+        state.ensure_layout()
+        events = []
+        view = JobView(
+            job_id="job-1",
+            spec=JobSpec(
+                kind="bench",
+                params={
+                    "targets": ["stub"],
+                    "bench_dir": str(bench_dir),
+                },
+            ),
+        )
+        # "stub" is not a default target name, so resolution fails — the
+        # job fails cleanly rather than crashing the worker.
+        outcome = execute_job(view, state, events.append)
+        assert outcome.state == "failed"
+        assert "unknown bench target" in outcome.detail["error"]
+
+        view = JobView(
+            job_id="job-2",
+            spec=JobSpec(kind="bench", params={"bench_dir": str(bench_dir)}),
+        )
+        # Default targets against the stub dir: scripts are absent, so the
+        # cycle completes with per-target errors and the job is "failed".
+        outcome = execute_job(view, state, events.append)
+        assert outcome.state == "failed"
+        assert all(not t["ok"] for t in outcome.detail["targets"])
+
+
+class TestTrajectoryStore:
+    def test_append_and_records_round_trip(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "results" / "trajectory.jsonl")
+        cycle = BenchCycle(commit="abc1234", started=12.5)
+        cycle.results.append(
+            TargetResult(
+                name="hotpath", ok=True, wall_clock_s={"clique8": 0.4}
+            )
+        )
+        store.append(cycle)
+        [record] = store.records()
+        assert record == {
+            "ts": 12.5,
+            "commit": "abc1234",
+            "target": "hotpath",
+            "ok": True,
+            "regressions": 0,
+            "wall_clock_s": {"clique8": 0.4},
+        }
+
+    def test_damaged_lines_skipped(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "trajectory.jsonl")
+        cycle = BenchCycle(commit="abc1234", started=1.0)
+        cycle.results.append(TargetResult(name="hotpath", ok=True))
+        store.append(cycle)
+        with store.path.open("a") as handle:
+            handle.write('{"crc": 1, "record"')  # torn mid-write
+        store.append(cycle)
+        assert len(store.records()) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert TrajectoryStore(tmp_path / "absent.jsonl").records() == []
+
+
+class TestCurrentCommit:
+    def test_inside_repo(self):
+        commit = current_commit(REPO_ROOT)
+        assert commit != "unknown"
+        assert len(commit) >= 7
+
+    def test_outside_repo(self, tmp_path):
+        assert current_commit(tmp_path) == "unknown"

@@ -1,0 +1,148 @@
+"""Chaos tests: the daemon is killed — politely and otherwise — mid-sweep,
+and the resumed job must finish with per-trial digests bit-identical to
+an undisturbed foreground run of the same plan.
+
+This is the subsystem's acceptance criterion, asserted at the strongest
+available boundary: a real subprocess daemon, a real ``SIGKILL``, real
+journal files.
+"""
+
+from repro.experiments import SweepJournal, checkpointed_sweep
+from repro.service import ServiceState, resolve_sweep_plan, sweep_digest
+from repro.service.queue import DurableJobQueue
+
+from daemon_harness import DaemonHarness
+
+#: Long enough to survive until the kill lands, small enough to stay fast.
+CHAOS_PARAMS = {
+    "family": "tdown",
+    "xs": [3.0, 4.0, 5.0, 6.0],
+    "trials": 2,
+}
+
+
+def foreground_records(params, tmp_path):
+    """The undisturbed reference run of the same resolved plan."""
+    plan = resolve_sweep_plan(params)
+    journal = SweepJournal(tmp_path / "foreground.trials.jsonl")
+    checkpointed_sweep(
+        plan.xs,
+        plan.make_scenario,
+        plan.make_config,
+        journal=journal,
+        seeds=plan.seeds,
+        settings=plan.settings,
+        jobs=1,
+        digests=True,
+    )
+    records = journal.records
+    journal.close()
+    return records
+
+
+def wait_done(client, job_id):
+    for event in client.watch(job_id):
+        if event["event"] == "end":
+            return event["state"]
+    raise AssertionError("watch stream ended without an end event")
+
+
+class TestSigkillResume:
+    def test_sigkill_mid_sweep_resumes_with_identical_digests(self, tmp_path):
+        state_dir = tmp_path / "state"
+        harness = DaemonHarness(state_dir).start()
+        try:
+            job = harness.client.submit(
+                {"kind": "sweep", "params": CHAOS_PARAMS}
+            )
+            # Let at least one point land in the journal, then murder the
+            # daemon — no checkpoint, no atexit, nothing graceful.
+            for event in harness.client.watch(job):
+                if event["event"] == "point":
+                    break
+            harness.kill()
+
+            # The restarted daemon replays the queue and resumes the job.
+            harness2 = DaemonHarness(state_dir).start()
+            try:
+                [summary] = harness2.client.jobs()
+                assert summary["job"] == job
+                assert summary["state"] in ("queued", "running", "done")
+                assert wait_done(harness2.client, job) == "done"
+                [summary] = harness2.client.jobs()
+                service_digest = summary["detail"]["digest"]
+            finally:
+                harness2.stop()
+        finally:
+            harness.stop()
+
+        service_records, _ = SweepJournal(
+            ServiceState(state_dir).journal_path(job)
+        ).load()
+        reference = foreground_records(CHAOS_PARAMS, tmp_path)
+
+        assert len(service_records) == len(reference) == 8
+        service_map = {k: r.digest for k, r in service_records.items()}
+        reference_map = {k: r.digest for k, r in reference.items()}
+        assert all(reference_map.values())
+        assert service_map == reference_map
+        assert service_digest == sweep_digest(reference)
+
+    def test_sigkill_before_any_point_restarts_cleanly(self, tmp_path):
+        state_dir = tmp_path / "state"
+        harness = DaemonHarness(state_dir).start()
+        try:
+            job = harness.client.submit(
+                {"kind": "sweep", "params": CHAOS_PARAMS}
+            )
+            # Kill as soon as the job starts running — likely before any
+            # trial is journaled; resume must equal a from-scratch run.
+            for event in harness.client.watch(job):
+                if event["event"] == "state" and event["state"] == "running":
+                    break
+            harness.kill()
+            harness2 = DaemonHarness(state_dir).start()
+            try:
+                assert wait_done(harness2.client, job) == "done"
+                [summary] = harness2.client.jobs()
+                service_digest = summary["detail"]["digest"]
+            finally:
+                harness2.stop()
+        finally:
+            harness.stop()
+        assert service_digest == sweep_digest(
+            foreground_records(CHAOS_PARAMS, tmp_path)
+        )
+
+
+class TestPoliteShutdownResume:
+    def test_sigterm_requeues_job_for_resume(self, tmp_path):
+        state_dir = tmp_path / "state"
+        harness = DaemonHarness(state_dir).start()
+        try:
+            job = harness.client.submit(
+                {"kind": "sweep", "params": CHAOS_PARAMS}
+            )
+            for event in harness.client.watch(job):
+                if event["event"] == "trial":
+                    break
+            assert harness.terminate() == 0
+        finally:
+            harness.stop()
+
+        # Offline: the durable queue shows the job parked, not lost.
+        queue = DurableJobQueue(ServiceState(state_dir).queue_path)
+        view = queue.get(job)
+        queue.close()
+        assert view.state == "queued"
+        assert view.detail.get("interrupted") is True
+
+        harness2 = DaemonHarness(state_dir).start()
+        try:
+            assert wait_done(harness2.client, job) == "done"
+            [summary] = harness2.client.jobs()
+            assert summary["detail"]["digest"] == sweep_digest(
+                foreground_records(CHAOS_PARAMS, tmp_path)
+            )
+        finally:
+            harness2.stop()

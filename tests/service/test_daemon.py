@@ -1,0 +1,168 @@
+"""The daemon end to end: a real ``repro serve`` subprocess, real Unix
+socket, real client — exactly what a user runs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ServiceError
+from repro.service import ServiceClient, ServiceState
+
+from daemon_harness import DaemonHarness
+
+TINY_SWEEP = {"kind": "sweep", "params": {"family": "tdown", "xs": [3.0]}}
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    harness = DaemonHarness(tmp_path / "state").start()
+    yield harness
+    harness.stop()
+
+
+class TestProtocolOps:
+    def test_ping_reports_version(self, daemon):
+        reply = daemon.client.ping()
+        assert reply["pong"] is True
+        assert reply["version"]
+
+    def test_submit_watch_and_jobs(self, daemon):
+        job = daemon.client.submit(TINY_SWEEP)
+        assert job == "job-1"
+        events = list(daemon.client.watch(job))
+        kinds = [event["event"] for event in events]
+        assert "trial" in kinds and "snapshot" in kinds
+        assert events[-1] == {"event": "end", "job": job, "state": "done"}
+
+        [summary] = daemon.client.jobs()
+        assert summary["job"] == job
+        assert summary["state"] == "done"
+        assert len(summary["detail"]["digest"]) == 64
+
+    def test_watch_after_completion_replays_and_ends(self, daemon):
+        job = daemon.client.submit(TINY_SWEEP)
+        assert list(daemon.client.watch(job))[-1]["state"] == "done"
+        replay = list(daemon.client.watch(job))
+        assert replay[-1]["event"] == "end"
+        assert any(event["event"] == "trial" for event in replay)
+
+    def test_bad_spec_refused_at_submit(self, daemon):
+        with pytest.raises(ServiceError, match="family"):
+            daemon.client.submit(
+                {"kind": "sweep", "params": {"family": "nope", "xs": [3]}}
+            )
+        assert daemon.client.jobs() == []  # nothing was queued
+
+    def test_unknown_job_refused(self, daemon):
+        with pytest.raises(ServiceError, match="unknown job"):
+            list(daemon.client.watch("job-99"))
+        with pytest.raises(ServiceError, match="unknown job"):
+            daemon.client.cancel("job-99")
+
+    def test_cancel_running_job(self, daemon):
+        job = daemon.client.submit(
+            {
+                "kind": "sweep",
+                "params": {"family": "tdown", "xs": [3.0, 4.0, 5.0, 6.0]},
+            }
+        )
+        stream = daemon.client.watch(job)
+        for event in stream:
+            if event["event"] == "trial":
+                break
+        reply = daemon.client.cancel(job)
+        assert reply.get("cancelling") or reply["state"] == "cancelled"
+        remaining = list(stream)
+        assert remaining[-1]["event"] == "end"
+        assert remaining[-1]["state"] == "cancelled"
+        [summary] = daemon.client.jobs()
+        assert summary["state"] == "cancelled"
+
+    def test_second_daemon_fails_fast(self, daemon, tmp_path):
+        second = DaemonHarness(tmp_path / "state").start(wait=False)
+        assert second.process.wait(timeout=30) != 0
+        assert "already has a writer" in second.output()
+        daemon.client.ping()  # the first daemon is unharmed
+
+    def test_shutdown_op_stops_daemon(self, daemon):
+        daemon.client.shutdown()
+        assert daemon.process.wait(timeout=30) == 0
+
+
+class TestCliVerbs:
+    def test_submit_follow_jobs_watch_cancel(self, daemon, capsys):
+        state = str(daemon.state_dir)
+        code = main(
+            ["submit", "--state", state, "--sweep", "tdown", "--xs", "3",
+             "--follow"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "submitted job-1" in out
+        assert "trial x=3 seed=0: ok" in out
+        assert "job job-1 finished: done" in out
+
+        code = main(["jobs", "--state", state])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "job-1" in out and "done" in out
+
+        code = main(["jobs", "--state", state, "--format", "json"])
+        summaries = json.loads(capsys.readouterr().out)
+        assert code == 0 and summaries[0]["job"] == "job-1"
+
+        code = main(["watch", "--state", state, "job-1"])
+        out = capsys.readouterr().out
+        assert code == 0 and "finished: done" in out
+
+    def test_cancel_verb(self, daemon, capsys):
+        state = str(daemon.state_dir)
+        job = daemon.client.submit(
+            {
+                "kind": "sweep",
+                "params": {"family": "tdown", "xs": [3.0, 4.0, 5.0, 6.0]},
+            }
+        )
+        stream = daemon.client.watch(job)
+        for event in stream:
+            if event["event"] == "trial":
+                break
+        code = main(["cancel", "--state", state, job])
+        out = capsys.readouterr().out
+        assert code == 0 and job in out
+        assert list(stream)[-1]["state"] == "cancelled"
+
+    def test_submit_sweep_requires_xs(self, daemon, capsys):
+        code = main(
+            ["submit", "--state", str(daemon.state_dir), "--sweep", "tdown"]
+        )
+        assert code == 2
+        assert "--xs" in capsys.readouterr().err
+
+    def test_figure_submission(self, daemon, capsys):
+        state = str(daemon.state_dir)
+        code = main(
+            ["submit", "--state", state, "--figure", "theory", "--quick",
+             "--follow"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "finished: done" in out
+        artifact = ServiceState(daemon.state_dir).artifact_dir("job-1")
+        assert (artifact / "theory.txt").exists()
+
+
+class TestClientErrors:
+    def test_no_daemon_socket(self, tmp_path):
+        client = ServiceClient(tmp_path / "empty")
+        with pytest.raises(ServiceError, match="repro serve"):
+            client.ping()
+
+    def test_stale_socket_refused(self, tmp_path, daemon):
+        # A socket file without a listener behind it (daemon killed hard).
+        state = ServiceState(tmp_path / "stale")
+        state.ensure_layout()
+        state.socket_path.touch()
+        with pytest.raises(ServiceError, match="connect"):
+            ServiceClient(tmp_path / "stale").ping()

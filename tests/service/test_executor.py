@@ -1,0 +1,152 @@
+"""The job executor, driven in-process (no daemon, no socket).
+
+The headline assertion lives here in its cheapest form: a sweep job run
+through the service executor produces per-trial digests bit-identical to
+a foreground ``checkpointed_sweep`` of the same resolved plan.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import SweepJournal, checkpointed_sweep
+from repro.service import (
+    JobSpec,
+    JobView,
+    ServiceState,
+    execute_job,
+    resolve_sweep_plan,
+    sweep_digest,
+)
+from repro.telemetry.timeline import validate_chrome_trace
+
+
+SWEEP_PARAMS = {"family": "tdown", "xs": [3.0, 4.0], "trials": 2}
+
+
+def make_view(job_id: str, kind: str, params: dict) -> JobView:
+    return JobView(job_id=job_id, spec=JobSpec(kind=kind, params=dict(params)))
+
+
+@pytest.fixture
+def state(tmp_path) -> ServiceState:
+    service_state = ServiceState(tmp_path / "state")
+    service_state.ensure_layout()
+    return service_state
+
+
+class TestSweepExecution:
+    def test_sweep_job_completes_with_digests(self, state):
+        events = []
+        outcome = execute_job(
+            make_view("job-1", "sweep", SWEEP_PARAMS), state, events.append
+        )
+        assert outcome.state == "done"
+        assert outcome.detail["points"] == 2
+        assert outcome.detail["trials"] == 4
+        assert outcome.detail["ok"] == 4
+        assert len(outcome.detail["digest"]) == 64
+
+        kinds = [event["event"] for event in events]
+        assert kinds.count("trial") == 4
+        assert kinds.count("point") == 2
+        assert kinds.count("snapshot") == 1
+        # The snapshot aggregation is the last metrics the watcher sees.
+        assert kinds.index("snapshot") > kinds.index("point")
+
+    def test_digests_match_foreground_sweep(self, state, tmp_path):
+        outcome = execute_job(make_view("job-1", "sweep", SWEEP_PARAMS), state)
+        service_records, _ = SweepJournal(state.journal_path("job-1")).load()
+
+        plan = resolve_sweep_plan(SWEEP_PARAMS)
+        foreground = SweepJournal(tmp_path / "foreground.jsonl")
+        checkpointed_sweep(
+            plan.xs,
+            plan.make_scenario,
+            plan.make_config,
+            journal=foreground,
+            seeds=plan.seeds,
+            settings=plan.settings,
+            jobs=1,
+            digests=True,
+        )
+        foreground_records = foreground.records
+        foreground.close()
+
+        service_map = {k: r.digest for k, r in service_records.items()}
+        foreground_map = {k: r.digest for k, r in foreground_records.items()}
+        assert service_map == foreground_map
+        assert all(foreground_map.values())
+        assert outcome.detail["digest"] == sweep_digest(foreground_records)
+
+    def test_timeline_artifact_is_valid_chrome_trace(self, state):
+        outcome = execute_job(make_view("job-1", "sweep", SWEEP_PARAMS), state)
+        payload = json.loads(
+            (state.artifact_dir("job-1") / "timeline.json").read_text()
+        )
+        assert validate_chrome_trace(payload) > 0
+        assert outcome.detail["timeline"].endswith("timeline.json")
+
+    def test_rerun_skips_journaled_trials(self, state):
+        view = make_view("job-1", "sweep", SWEEP_PARAMS)
+        execute_job(view, state)
+        events = []
+        outcome = execute_job(view, state, events.append)
+        assert outcome.state == "done"
+        assert outcome.detail["trials"] == 4
+        # Nothing re-ran, so no per-trial events the second time.
+        assert not [e for e in events if e["event"] == "trial"]
+
+    def test_cancellation_preserves_finished_trials(self, state):
+        seen = []
+
+        def cancel_after_first_point() -> bool:
+            return any(event["event"] == "point" for event in seen)
+
+        outcome = execute_job(
+            make_view("job-1", "sweep", SWEEP_PARAMS),
+            state,
+            seen.append,
+            cancel_after_first_point,
+        )
+        assert outcome.state == "cancelled"
+        records, _ = SweepJournal(state.journal_path("job-1")).load()
+        assert 0 < len(records) < 4  # first point journaled, sweep unfinished
+
+        # Re-execution resumes and completes with full digests.
+        final = execute_job(make_view("job-1", "sweep", SWEEP_PARAMS), state)
+        assert final.state == "done"
+        assert final.detail["trials"] == 4
+
+    def test_supervised_sweep_reports_supervision(self, state):
+        params = dict(SWEEP_PARAMS, jobs=2, retries=1)
+        outcome = execute_job(make_view("job-1", "sweep", params), state)
+        assert outcome.state == "done"
+        assert outcome.detail["supervision"]["trials"] == 4
+        assert outcome.detail["supervision"]["completed"] == 4
+
+
+class TestOtherKinds:
+    def test_figure_job_writes_artifact(self, state):
+        events = []
+        outcome = execute_job(
+            make_view("job-1", "figure", {"id": "theory", "quick": True}),
+            state,
+            events.append,
+        )
+        assert outcome.state == "done"
+        artifact = state.artifact_dir("job-1") / "theory.txt"
+        assert artifact.exists() and artifact.read_text().strip()
+        assert any(event["event"] == "log" for event in events)
+
+    def test_unknown_kind_fails_without_raising(self, state):
+        outcome = execute_job(make_view("job-1", "mystery", {}), state)
+        assert outcome.state == "failed"
+        assert "mystery" in outcome.detail["error"]
+
+    def test_bad_figure_id_fails_without_raising(self, state):
+        outcome = execute_job(
+            make_view("job-1", "figure", {"id": "fig99"}), state
+        )
+        assert outcome.state == "failed"
+        assert outcome.detail["kind"] == "ServiceError"

@@ -1,0 +1,138 @@
+"""The durable job queue: submissions survive reopen, torn tails are
+truncated, two writers fail fast, compaction is atomic."""
+
+import pytest
+
+from repro.errors import JournalError, ServiceError
+from repro.service import DurableJobQueue, JobSpec
+from repro.service.jobs import CANCELLED, DONE, QUEUED, RUNNING
+
+
+SPEC = JobSpec(kind="bench", params={"repeat": 1})
+
+
+class TestSubmitAndReplay:
+    def test_sequential_ids(self, tmp_path):
+        with DurableJobQueue(tmp_path / "jobs.jsonl") as queue:
+            assert queue.submit(SPEC).job_id == "job-1"
+            assert queue.submit(SPEC).job_id == "job-2"
+
+    def test_replay_restores_jobs_and_counter(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with DurableJobQueue(path) as queue:
+            queue.submit(SPEC, now=10.0)
+            queue.submit(SPEC, now=11.0)
+            queue.transition("job-1", DONE, {"trials": 4}, now=12.0)
+        with DurableJobQueue(path) as queue:
+            jobs = queue.jobs()
+            assert [view.job_id for view in jobs] == ["job-1", "job-2"]
+            assert jobs[0].state == DONE
+            assert jobs[0].detail == {"trials": 4}
+            assert jobs[1].state == QUEUED
+            # The id counter resumes past the replayed jobs.
+            assert queue.submit(SPEC).job_id == "job-3"
+
+    def test_pending_excludes_terminal(self, tmp_path):
+        with DurableJobQueue(tmp_path / "jobs.jsonl") as queue:
+            queue.submit(SPEC)
+            queue.submit(SPEC)
+            queue.transition("job-1", CANCELLED)
+            assert [view.job_id for view in queue.pending()] == ["job-2"]
+
+    def test_unknown_job_raises(self, tmp_path):
+        with DurableJobQueue(tmp_path / "jobs.jsonl") as queue:
+            with pytest.raises(ServiceError, match="unknown job"):
+                queue.get("job-9")
+            with pytest.raises(ServiceError, match="unknown job"):
+                queue.transition("job-9", DONE)
+
+    def test_unknown_state_raises(self, tmp_path):
+        with DurableJobQueue(tmp_path / "jobs.jsonl") as queue:
+            queue.submit(SPEC)
+            with pytest.raises(ServiceError, match="unknown job state"):
+                queue.transition("job-1", "paused")
+
+
+class TestDurability:
+    def test_torn_tail_truncated_on_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with DurableJobQueue(path) as queue:
+            queue.submit(SPEC)
+            queue.submit(SPEC)
+        intact_size = path.stat().st_size
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"crc":123,"record":{"op":"su')  # torn mid-write
+        with DurableJobQueue(path) as queue:
+            assert [view.job_id for view in queue.jobs()] == ["job-1", "job-2"]
+        assert path.stat().st_size == intact_size  # tail physically removed
+
+    def test_corrupt_line_stops_replay_there(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with DurableJobQueue(path) as queue:
+            queue.submit(SPEC)
+            queue.transition("job-1", RUNNING)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"crc":1,"record":{"op":"state","id":"job-1"}}\n')
+        with DurableJobQueue(path) as queue:
+            # Everything before the bad CRC survives; the bad frame and
+            # anything after it are discarded.
+            assert queue.get("job-1").state == RUNNING
+
+    def test_two_writers_fail_fast(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        first = DurableJobQueue(path)
+        first.submit(SPEC)
+        second = DurableJobQueue(path)  # reading is fine...
+        assert [view.job_id for view in second.jobs()] == ["job-1"]
+        with pytest.raises(JournalError, match="already has a writer"):
+            second.submit(SPEC)  # ...writing is not
+        first.close()
+        # Lock released: a new writer may proceed.
+        with DurableJobQueue(path) as queue:
+            queue.submit(SPEC)
+
+
+class TestCompaction:
+    def test_compact_drops_old_terminal_jobs(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with DurableJobQueue(path) as queue:
+            for _ in range(5):
+                queue.submit(SPEC)
+            for n in range(1, 5):
+                queue.transition(f"job-{n}", DONE)
+            dropped = queue.compact(keep_terminal=2)
+            assert dropped == 2
+            assert [view.job_id for view in queue.jobs()] == [
+                "job-3",
+                "job-4",
+                "job-5",
+            ]
+            # Still writable after the rewrite.
+            queue.submit(SPEC)
+        with DurableJobQueue(path) as queue:
+            assert [view.job_id for view in queue.jobs()] == [
+                "job-3",
+                "job-4",
+                "job-5",
+                "job-6",
+            ]
+
+    def test_compact_collapses_transition_history(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with DurableJobQueue(path) as queue:
+            queue.submit(SPEC)
+            for state in (RUNNING, QUEUED, RUNNING, DONE):
+                queue.transition("job-1", state)
+            before = sum(1 for _ in path.open())
+            queue.compact()
+            after = sum(1 for _ in path.open())
+        assert before == 5
+        assert after == 2  # one submit + one final-state record
+
+    def test_compact_keeps_pending_jobs(self, tmp_path):
+        with DurableJobQueue(tmp_path / "jobs.jsonl") as queue:
+            queue.submit(SPEC)
+            queue.transition("job-1", DONE)
+            queue.submit(SPEC)
+            queue.compact(keep_terminal=0)
+            assert [view.job_id for view in queue.jobs()] == ["job-2"]
