@@ -20,6 +20,24 @@ Two extras support long parallel studies:
   --jobs N`` entry point that times its figure drivers under the parallel
   sweep executor and prints the wall-clock per figure — the quickest way
   to see the speedup (or, on tiny topologies, the worker-startup cost).
+
+Committed vs machine-written results
+------------------------------------
+
+``benchmarks/results/`` holds two kinds of file with different ownership:
+
+* **Committed** — the rendered ``*.txt`` figure tables that
+  :func:`save_figure` writes.  EXPERIMENTS.md is generated from these;
+  refreshing one is a reviewed change.
+* **Machine-written** (gitignored) — per-machine state no commit should
+  carry: sweep trial journals (``*.trials.jsonl``, and the retired
+  ``*.points.jsonl``), the continuous-bench perf trajectory
+  (``perf_trajectory.jsonl``), and the candidate bench documents the
+  service gates (``CANDIDATE_*.json``).
+
+Timing *baselines* never live here at all: the JSON documents that
+``compare_baselines.py`` gates against are committed under
+``benchmarks/baselines/`` and refreshed deliberately (see README).
 """
 
 from __future__ import annotations

@@ -20,6 +20,25 @@ Same medians-of-``--repeat`` JSON schema as ``bench_hotpath.py``; gate with
     PYTHONPATH=src python benchmarks/bench_multiprefix.py --output BENCH_multiprefix.json
     python benchmarks/compare_baselines.py \
         benchmarks/baselines/BENCH_multiprefix.json BENCH_multiprefix.json
+
+Scaling mode
+------------
+
+``--population N [N ...]`` switches to the routing-table-scale curve: one
+Tagg run per population under the memory-lean configuration (per-peer
+MRAI, batched UPDATEs, totals-only traffic accounting) that 10k-prefix
+workloads use.  The emitted document's benchmark name is
+``multiprefix-scaling`` with one ``pop<N>`` result per population; the
+committed curve lives at ``benchmarks/baselines/BENCH_scaling.json``:
+
+    PYTHONPATH=src python benchmarks/bench_multiprefix.py \
+        --population 1024 4096 10240 --output BENCH_scaling.json
+    python benchmarks/compare_baselines.py \
+        benchmarks/baselines/BENCH_scaling.json BENCH_scaling.json
+
+Refreshing the scaling baseline after an intentional perf change: run the
+exact command above on a quiet machine (repeat 3) and commit the output
+over ``benchmarks/baselines/BENCH_scaling.json``.
 """
 
 from __future__ import annotations
@@ -47,6 +66,13 @@ CONFIG = BgpConfig(mrai=2.0)
 SETTINGS = RunSettings(traffic_matrix=True)
 POPULATIONS = {"tagg64": 64, "tagg256": 256}
 
+# Routing-table-scale curve: the memory-lean configuration.  Per-peer MRAI
+# and batched UPDATEs amortize timer and dissemination work over the whole
+# dirtied prefix set; totals-only traffic accounting drops the per-epoch
+# row log that dominates memory at 10k prefixes.
+SCALING_CONFIG = BgpConfig(mrai=2.0, mrai_mode="per-peer", batch_updates=True)
+SCALING_SETTINGS = RunSettings(traffic_matrix=True, traffic_epoch_rows=False)
+
 
 def _scenario(prefixes: int):
     return tagg_clique(4, prefixes=prefixes, origins=2, hold=5.0)
@@ -62,6 +88,28 @@ def run_tagg(name: str, repeat: int, seed: int) -> Dict[str, object]:
         scenario_name = scenario.name
         start = time.perf_counter()
         run = run_experiment(scenario, CONFIG, SETTINGS, seed=seed)
+        samples.append(time.perf_counter() - start)
+        updates = run.result.convergence.update_count
+    wall = statistics.median(samples)
+    return {
+        "scenario": scenario_name,
+        "wall_clock_s": round(wall, 6),
+        "samples_s": [round(s, 6) for s in samples],
+        "updates": updates,
+        "updates_per_s": round(updates / wall, 1),
+    }
+
+
+def run_scaling(population: int, repeat: int, seed: int) -> Dict[str, object]:
+    """Median-of-``repeat`` full-run timing at one scaling population."""
+    samples = []
+    updates = 0
+    scenario_name = ""
+    for _ in range(repeat):
+        scenario = _scenario(population)
+        scenario_name = scenario.name
+        start = time.perf_counter()
+        run = run_experiment(scenario, SCALING_CONFIG, SCALING_SETTINGS, seed=seed)
         samples.append(time.perf_counter() - start)
         updates = run.result.convergence.update_count
     wall = statistics.median(samples)
@@ -123,12 +171,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--output", type=Path, default=None, metavar="PATH",
         help="write the JSON document here (default: stdout only)",
     )
+    parser.add_argument(
+        "--population", type=int, nargs="+", default=None, metavar="N",
+        help="scaling mode: one Tagg run per population under the "
+        "memory-lean configuration (emits benchmark 'multiprefix-scaling')",
+    )
     args = parser.parse_args(argv)
 
     results: Dict[str, Dict[str, object]] = {}
-    for name in sorted(POPULATIONS):
-        results[name] = run_tagg(name, repeat=args.repeat, seed=args.seed)
-    results["eval256"] = run_eval(repeat=args.repeat, seed=args.seed)
+    if args.population:
+        benchmark = "multiprefix-scaling"
+        for population in args.population:
+            results[f"pop{population}"] = run_scaling(
+                population, repeat=args.repeat, seed=args.seed
+            )
+    else:
+        benchmark = "multiprefix"
+        for name in sorted(POPULATIONS):
+            results[name] = run_tagg(name, repeat=args.repeat, seed=args.seed)
+        results["eval256"] = run_eval(repeat=args.repeat, seed=args.seed)
     for name, result in results.items():
         print(
             f"[{name}] {result['scenario']}: "
@@ -140,7 +201,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     document = {
         "schema": SCHEMA_VERSION,
-        "benchmark": "multiprefix",
+        "benchmark": benchmark,
         "repeat": args.repeat,
         "seed": args.seed,
         "python": platform.python_version(),

@@ -42,7 +42,13 @@ from .relationships import (
     relationships_from_tiers,
 )
 from .rib import NOTHING_SENT, AdjRibIn, AdjRibOut, LocRib, SentState
-from .route import DEFAULT_LOCAL_PREF, Route, local_route
+from .route import (
+    DEFAULT_LOCAL_PREF,
+    Route,
+    intern_route,
+    local_route,
+    route_intern_table_size,
+)
 from .speaker import BgpSpeaker, FibListener
 from .variants import VARIANT_NAMES, all_variants, combine, variant
 
@@ -88,7 +94,9 @@ __all__ = [
     "combine",
     "is_update",
     "is_valley_free",
+    "intern_route",
     "local_route",
+    "route_intern_table_size",
     "prefix_population",
     "relationships_from_tiers",
     "variant",

@@ -1,9 +1,32 @@
-"""Routes: a prefix bound to an AS path with bookkeeping attributes."""
+"""Routes: a prefix bound to an AS path with bookkeeping attributes.
+
+Interning
+---------
+
+At routing-table scale every speaker holds one candidate :class:`Route` per
+(neighbor, prefix) pair, and most of those are *the same value*: a clique
+node learns the same (path, next_hop, local_pref) triple for thousands of
+prefixes that differ only in the prefix string.  This module therefore
+maintains a process-global **intern table** mirroring the
+:class:`~repro.bgp.path.AsPath` one: one canonical :class:`Route` per
+distinct ``(prefix, path, next_hop, local_pref)`` key.  Simulator code
+obtains routes through :func:`intern_route` / :meth:`Route.of`; direct
+``Route(...)`` construction stays valid (tests, ad-hoc analysis) and
+compares equal to its canonical twin, it just does not share storage.
+
+Interned routes always carry ``learned_at == 0.0`` — the field is
+diagnostics-only (``compare=False``, outside every digest), and folding it
+into the key would defeat sharing entirely.  Pickle support re-interns on
+load (:meth:`Route.__reduce__`), so routes crossing a process boundary —
+parallel sweep workers — land in the worker's own table and keep the
+identity fast path; a direct-constructed route with a non-zero
+``learned_at`` round-trips its timestamp un-interned.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from .messages import Prefix
 from .path import AsPath
@@ -15,7 +38,7 @@ DEFAULT_LOCAL_PREF = 100
 """BGP's customary default LOCAL_PREF."""
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Route:
     """One candidate route to ``prefix``.
 
@@ -34,7 +57,8 @@ class Route:
         decision purely shortest-path.
     learned_at:
         Simulation time the route entered the RIB (diagnostics only; not
-        part of equality so RIB comparisons stay value-based).
+        part of equality so RIB comparisons stay value-based).  Always
+        ``0.0`` on interned routes.
     """
 
     prefix: Prefix
@@ -42,6 +66,7 @@ class Route:
     next_hop: Optional[int]
     local_pref: int = DEFAULT_LOCAL_PREF
     learned_at: float = field(default=0.0, compare=False)
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if self.next_hop is None and not self.path.is_empty:
@@ -50,6 +75,35 @@ class Route:
             raise ValueError(
                 f"stored path {self.path!r} must start at next hop {self.next_hop}"
             )
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.prefix, self.path, self.next_hop, self.local_pref)),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Route):
+            # learned_at deliberately excluded (diagnostics only).
+            return (
+                self.prefix == other.prefix
+                and self.local_pref == other.local_pref
+                and self.next_hop == other.next_hop
+                and self.path == other.path
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Unpickling re-interns (sweep workers rebuild their own table);
+        # a non-zero learned_at survives as a direct instance.
+        return (
+            _unpickle_route,
+            (self.prefix, self.path.ases, self.next_hop, self.local_pref, self.learned_at),
+        )
 
     @property
     def is_local(self) -> bool:
@@ -65,13 +119,88 @@ class Route:
         """The path this route would carry when ``asn`` re-advertises it."""
         return self.path.prepend(asn)
 
+    @classmethod
+    def of(
+        cls,
+        prefix: Prefix,
+        path: AsPath,
+        next_hop: Optional[int],
+        local_pref: int = DEFAULT_LOCAL_PREF,
+    ) -> "Route":
+        """The canonical (interned) instance; see :func:`intern_route`."""
+        return intern_route(prefix, path, next_hop, local_pref)
+
     def __repr__(self) -> str:
         origin = "local" if self.is_local else f"via {self.next_hop}"
         return f"Route[{self.prefix} {self.path!r} {origin} lp={self.local_pref}]"
 
 
+#: The process-global intern table: (prefix, AS tuple, next_hop, local_pref)
+#: -> canonical instance.  Strong references, like the AsPath table: the
+#: population of distinct route values is bounded by the workload, and a
+#: worker reuses them across every trial it runs.
+_INTERN_TABLE: Dict[Tuple[Prefix, Tuple[int, ...], Optional[int], int], Route] = {}
+
+
+def intern_route(
+    prefix: Prefix,
+    path: AsPath,
+    next_hop: Optional[int],
+    local_pref: int = DEFAULT_LOCAL_PREF,
+) -> Route:
+    """The canonical :class:`Route` for the key, validating on first sight.
+
+    Repeated requests return the *same* object, so route equality inside
+    RIBs short-circuits on identity and per-prefix Adj-RIB state can be
+    shared structurally across prefixes.  The stored path is canonicalized
+    through :meth:`AsPath.of`, so an un-interned path argument still lands
+    on the shared instance.
+    """
+    key = (prefix, path.ases, next_hop, local_pref)
+    cached = _INTERN_TABLE.get(key)
+    if cached is not None:
+        return cached
+    route = Route(
+        prefix=prefix,
+        path=AsPath.of(path.ases),
+        next_hop=next_hop,
+        local_pref=local_pref,
+    )
+    return _INTERN_TABLE.setdefault(key, route)
+
+
+def _unpickle_route(
+    prefix: Prefix,
+    ases: Tuple[int, ...],
+    next_hop: Optional[int],
+    local_pref: int,
+    learned_at: float,
+) -> Route:
+    """Pickle re-entry point (see :meth:`Route.__reduce__`)."""
+    if learned_at == 0.0:
+        return intern_route(prefix, AsPath.of(ases), next_hop, local_pref)
+    return Route(
+        prefix=prefix,
+        path=AsPath.of(ases),
+        next_hop=next_hop,
+        local_pref=local_pref,
+        learned_at=learned_at,
+    )
+
+
+def route_intern_table_size() -> int:
+    """Number of distinct routes currently interned (diagnostics/tests)."""
+    return len(_INTERN_TABLE)
+
+
 def local_route(prefix: Prefix, learned_at: float = 0.0) -> Route:
-    """The route a speaker installs when it originates ``prefix``."""
+    """The route a speaker installs when it originates ``prefix``.
+
+    The default (timestamp-free) form is interned — it is rebuilt on every
+    decision-process pass for an originated prefix, so the dict hit matters.
+    """
+    if learned_at == 0.0:
+        return intern_route(prefix, AsPath.empty(), LOCAL_NEXT_HOP)
     return Route(
         prefix=prefix,
         path=AsPath.empty(),

@@ -27,8 +27,7 @@ reconstructs the forwarding graph over time.
 from __future__ import annotations
 
 from contextlib import ExitStack
-from dataclasses import replace
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..engine import RandomStreams, Scheduler
 from ..errors import ProtocolError
@@ -257,12 +256,21 @@ class BgpSpeaker(Node):
         each through the exact code path an unbatched message takes, so
         batching cannot change routing outcomes, only message packing.
         """
+        dirtied: List[Prefix] = []
         for prefix in batch.withdrawn:
-            self._handle_withdrawal(src, Withdrawal(prefix=prefix))
+            self._apply_withdrawal(src, Withdrawal(prefix=prefix))
+            dirtied.append(prefix)
         for prefix, path in batch.nlri:
-            self._handle_announcement(src, Announcement(prefix=prefix, path=path))
+            self._apply_announcement(src, Announcement(prefix=prefix, path=path))
+            dirtied.append(prefix)
+        self._run_decisions(dirtied)
 
     def _handle_announcement(self, src: int, message: Announcement) -> None:
+        self._apply_announcement(src, message)
+        self._run_decision(message.prefix)
+
+    def _apply_announcement(self, src: int, message: Announcement) -> None:
+        """Adj-RIB-In effects of one announcement (no decision run)."""
         if message.sender != src:
             raise ProtocolError(
                 f"announcement head {message.sender} does not match sender {src}"
@@ -287,31 +295,29 @@ class BgpSpeaker(Node):
                 telemetry.on_variant_extra(self.node_id, "poison_reverse")
             self.adj_rib_in.remove(src, prefix)
         else:
-            provisional = Route(
-                prefix=prefix,
-                path=path,
-                next_hop=src,
-                learned_at=self.scheduler.now,
-            )
+            provisional = Route.of(prefix, path, src)
             local_pref = self.policy.local_pref(src, provisional)
             if local_pref == provisional.local_pref:
-                route = provisional  # default pref: skip the replace() copy
+                route = provisional  # default pref: already the shared instance
             else:
-                route = replace(provisional, local_pref=local_pref)
+                route = Route.of(prefix, path, src, local_pref)
             if self.policy.accept_import(src, route):
                 self.adj_rib_in.put(src, route)
             else:
                 self.adj_rib_in.remove(src, prefix)
-        self._run_decision(prefix)
 
     def _handle_withdrawal(self, src: int, message: Withdrawal) -> None:
+        self._apply_withdrawal(src, message)
+        self._run_decision(message.prefix)
+
+    def _apply_withdrawal(self, src: int, message: Withdrawal) -> None:
+        """Adj-RIB-In effects of one withdrawal (no decision run)."""
         prefix = message.prefix
         if self.config.assertion:
             self._apply_assertion(prefix, src, None)
         if self.damper is not None and self.adj_rib_in.get(src, prefix) is not None:
             self.damper.record_withdrawal(src, prefix)
         self.adj_rib_in.remove(src, prefix)
-        self._run_decision(prefix)
 
     def _apply_assertion(
         self, prefix: Prefix, src: int, new_path: Optional[AsPath]
@@ -346,8 +352,7 @@ class BgpSpeaker(Node):
         self._pending_updates.pop(neighbor, None)
         if self.damper is not None:
             self.damper.cancel_peer(neighbor)
-        for prefix in affected:
-            self._run_decision(prefix)
+        self._run_decisions(affected)
 
     def on_link_up(self, neighbor: int) -> None:
         """Adjacency (re-)established: bring the session up, advertise."""
@@ -523,11 +528,48 @@ class BgpSpeaker(Node):
 
     def _run_decision(self, prefix: Prefix) -> None:
         """Re-select the best route; on change, update FIB and sync peers."""
+        if self._decide(prefix):
+            for peer in self.neighbors:
+                self._sync_peer(peer, prefix)
+
+    def _run_decisions(self, dirtied: List[Prefix]) -> None:
+        """Batched decision pass: decide every dirtied prefix, then
+        disseminate in one sweep.
+
+        Phase 1 re-selects and updates the FIB per prefix; both read only
+        prefix-local state, so applying every decision before any send is
+        outcome-identical to interleaving.  Phase 2 syncs peers in the
+        exact prefix-outer, peer-inner order the per-prefix path uses, so
+        same-instant message ordering — and hence scheduler sequence and
+        digests — is unchanged; only the per-(peer, prefix) link/session
+        eligibility checks are hoisted out of the inner loop (sends cannot
+        alter link or session state within the pass).
+        """
+        changed = [prefix for prefix in dirtied if self._decide(prefix)]
+        if not changed:
+            return
+        peers = [
+            peer
+            for peer in self.neighbors
+            if self.link_is_up(peer)
+            and (self.sessions is None or self.sessions.established(peer))
+        ]
+        if not peers:
+            return
+        for prefix in changed:
+            for peer in peers:
+                self._sync_eligible_peer(peer, prefix)
+
+    def _decide(self, prefix: Prefix) -> bool:
+        """Re-select ``prefix``'s best route and update the FIB.
+
+        Returns True when the best route changed (peers need syncing).
+        """
         old_best = self.loc_rib.get(prefix)
         new_best = self._select_best(prefix)
         if new_best == old_best:
             self._notify_decision(prefix)
-            return
+            return False
         if new_best is None:
             self.loc_rib.remove(prefix)
         else:
@@ -542,8 +584,7 @@ class BgpSpeaker(Node):
             )
         self._update_fib(prefix, new_best)
         self._notify_decision(prefix)
-        for peer in self.neighbors:
-            self._sync_peer(peer, prefix)
+        return True
 
     def _notify_decision(self, prefix: Prefix) -> None:
         """Report a completed decision run to sanitizers and telemetry."""
@@ -598,6 +639,11 @@ class BgpSpeaker(Node):
             return
         if self.sessions is not None and not self.sessions.established(peer):
             return
+        self._sync_eligible_peer(peer, prefix)
+
+    def _sync_eligible_peer(self, peer: int, prefix: Prefix) -> None:
+        """:meth:`_sync_peer` with link/session eligibility already checked
+        (the batched pass hoists those checks out of its inner loop)."""
         telemetry = self.scheduler.telemetry
         desired = self._desired_advertisement(peer, prefix)
         last = self.adj_rib_out.last_sent(peer, prefix)

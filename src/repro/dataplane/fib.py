@@ -20,7 +20,8 @@ from functools import lru_cache
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
 from ..errors import AnalysisError
-from ..prefixes import ADDRESS_BITS, PrefixSpec, parse_prefix
+from ..prefixes import PrefixSpec, parse_prefix
+from ..prefixes.trie import RadixTrie
 
 Prefix = str
 
@@ -235,85 +236,10 @@ class FibChangeLog:
 # ----------------------------------------------------------------------
 
 
-class _TrieNode:
-    __slots__ = ("children", "entry")
-
-    def __init__(self) -> None:
-        self.children: List[Optional["_TrieNode"]] = [None, None]
-        self.entry: Optional[Tuple[PrefixSpec, object]] = None
-
-
-class PrefixTrie:
-    """A binary trie mapping structured prefixes to payloads, with LPM lookup.
-
-    Interior nodes are retained after :meth:`remove` (entries just clear);
-    aggregation cycles re-insert the same specifics repeatedly, so keeping
-    the skeleton trades a bounded sliver of memory for churn-free updates.
-    """
-
-    def __init__(self) -> None:
-        self._root = _TrieNode()
-        self._size = 0
-
-    def __len__(self) -> int:
-        return self._size
-
-    def _descend(self, spec: PrefixSpec, build: bool) -> Optional[_TrieNode]:
-        node: Optional[_TrieNode] = self._root
-        for bit_index in range(spec.length):
-            bit = (spec.value >> (ADDRESS_BITS - 1 - bit_index)) & 1
-            assert node is not None
-            child = node.children[bit]
-            if child is None:
-                if not build:
-                    return None
-                child = _TrieNode()
-                node.children[bit] = child
-            node = child
-        return node
-
-    def insert(self, spec: PrefixSpec, payload: object) -> None:
-        node = self._descend(spec, build=True)
-        assert node is not None
-        if node.entry is None:
-            self._size += 1
-        node.entry = (spec, payload)
-
-    def remove(self, spec: PrefixSpec) -> bool:
-        """Drop the entry for ``spec``; True when one existed."""
-        node = self._descend(spec, build=False)
-        if node is None or node.entry is None:
-            return False
-        node.entry = None
-        self._size -= 1
-        return True
-
-    def lookup(self, address: int) -> Optional[Tuple[PrefixSpec, object]]:
-        """The most-specific ``(spec, payload)`` containing ``address``."""
-        node: Optional[_TrieNode] = self._root
-        best = node.entry if node is not None else None
-        for bit_index in range(ADDRESS_BITS):
-            assert node is not None
-            node = node.children[(address >> (ADDRESS_BITS - 1 - bit_index)) & 1]
-            if node is None:
-                break
-            if node.entry is not None:
-                best = node.entry
-        return best
-
-    def entries(self) -> List[Tuple[PrefixSpec, object]]:
-        """All live entries, sorted by (value, length) — deterministic."""
-        found: List[Tuple[PrefixSpec, object]] = []
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if node.entry is not None:
-                found.append(node.entry)
-            for child in node.children:
-                if child is not None:
-                    stack.append(child)
-        found.sort(key=lambda e: (e[0].value, e[0].length))
-        return found
+PrefixTrie = RadixTrie
+"""Historical name for the LPM index; now the path-compressed
+:class:`~repro.prefixes.trie.RadixTrie` (same insert/remove/lookup/entries
+surface, O(branch points) nodes instead of one node per bit)."""
 
 
 class MultiPrefixFib:
@@ -330,7 +256,7 @@ class MultiPrefixFib:
     """
 
     def __init__(self) -> None:
-        self._tries: Dict[int, PrefixTrie] = {}
+        self._tries: Dict[int, RadixTrie] = {}
         self._opaque: Dict[int, Dict[Prefix, int]] = {}
 
     def set_entry(self, node: int, prefix: Prefix, next_hop: Optional[int]) -> None:
@@ -342,8 +268,10 @@ class MultiPrefixFib:
                     trie.remove(spec)
                 return
             if trie is None:
-                trie = self._tries[node] = PrefixTrie()
-            trie.insert(spec, next_hop)
+                trie = self._tries[node] = RadixTrie()
+            # Payload carries the canonical string so resolve() never
+            # re-formats a PrefixSpec on the per-hop hot path.
+            trie.insert(spec, (prefix, next_hop))
         else:
             table = self._opaque.get(node)
             if next_hop is None:
@@ -368,8 +296,7 @@ class MultiPrefixFib:
             hit = trie.lookup(destination)
             if hit is None:
                 return None
-            spec, next_hop = hit
-            return (str(spec), next_hop)  # type: ignore[return-value]
+            return hit[1]  # the (prefix, next_hop) payload stored at insert
         table = self._opaque.get(node)
         if table is None or destination not in table:
             return None
@@ -386,8 +313,10 @@ class MultiPrefixFib:
     def node_entries(self, node: int) -> List[Tuple[Prefix, int]]:
         """The node's live entries as sorted ``(prefix, next_hop)`` pairs."""
         pairs: List[Tuple[Prefix, int]] = [
-            (str(spec), hop)  # type: ignore[misc]
-            for spec, hop in (self._tries.get(node).entries() if node in self._tries else [])
+            payload  # (prefix, next_hop), canonical string from insert time
+            for _spec, payload in (
+                self._tries[node].entries() if node in self._tries else []
+            )
         ]
         pairs.extend(sorted((self._opaque.get(node) or {}).items()))
         pairs.sort()

@@ -32,10 +32,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import AnalysisError
-from ..prefixes import parse_prefix
+from ..prefixes import ADDRESS_BITS, PrefixSpec, parse_prefix
+from ..prefixes.trie import RadixTrie
 from .fib import FibChangeLog, MultiPrefixFib
 from .packet import DEFAULT_TTL, PacketFate, walk_lpm
 from .traffic import TrafficMatrix
@@ -136,6 +137,16 @@ class TrafficMatrixEvaluator:
         pure-python path; ``True`` raises if numpy is missing.  Both paths
         produce identical classifications — the switch exists for the
         equivalence tests and numpy-free installs.
+    epoch_rows:
+        ``True`` (default) collects one :class:`EpochTraffic` row per
+        constant-fate segment, which costs one whole-matrix accounting
+        pass per segment — O(segments × flows), quadratic in population
+        at routing-table scale since both factors grow with the prefix
+        count.  ``False`` switches to per-destination segment accounting:
+        the report's totals (and every derived fraction) are bit-identical
+        — per-flow CBR counts telescope exactly across any partition of
+        the window — but ``report.epoch_rows`` stays empty.  Use for 10k+
+        prefix populations where per-epoch detail is not worth O(P²).
     """
 
     def __init__(
@@ -144,6 +155,7 @@ class TrafficMatrixEvaluator:
         matrix: TrafficMatrix,
         ttl: int = DEFAULT_TTL,
         use_numpy: Optional[bool] = None,
+        epoch_rows: bool = True,
     ) -> None:
         if not matrix.flows:
             raise AnalysisError("traffic matrix has no flows")
@@ -153,6 +165,7 @@ class TrafficMatrixEvaluator:
         self._matrix = matrix
         self._ttl = ttl
         self._numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
+        self._epoch_rows = bool(epoch_rows)
         # Group flows by destination once: all flows to one address share a
         # functional graph per epoch and classify together.
         self._by_destination: Dict[Union[int, str], List] = {}
@@ -192,6 +205,18 @@ class TrafficMatrixEvaluator:
         self._nodes = sorted(nodes)
         self._node_index = {node: i for i, node in enumerate(self._nodes)}
         self._flat_fates: List[int] = [_BLACKHOLED] * len(self._flat_flows)
+        # Inverted destination index: every integer destination as a /32
+        # radix-trie entry, so "which destinations does this changed prefix
+        # touch?" is a subtree walk (specifics enumeration), not a scan over
+        # every destination.  Opaque destinations match exactly, by name.
+        self._dest_order = {dest: i for i, dest in enumerate(self._destinations)}
+        self._dest_trie = RadixTrie()
+        self._opaque_dests: Dict[str, str] = {}
+        for dest in self._destinations:
+            if isinstance(dest, int):
+                self._dest_trie.insert(PrefixSpec(dest, ADDRESS_BITS), dest)
+            else:
+                self._opaque_dests[dest] = dest
 
     # ------------------------------------------------------------------
 
@@ -204,6 +229,8 @@ class TrafficMatrixEvaluator:
             flows=len(self._matrix.flows),
             prefixes=len(self._matrix.prefixes()),
         )
+        if not self._epoch_rows:
+            return self._evaluate_totals(report, start, end)
         segment: Optional[List[float]] = None
         classified = False
         for t0, t1, fib, changed in self._log.multi_epochs(start, end):
@@ -225,6 +252,56 @@ class TrafficMatrixEvaluator:
             self._flush_segment(report, segment[0], segment[1])
         return report
 
+    def _evaluate_totals(
+        self, report: TrafficReport, start: float, end: float
+    ) -> TrafficReport:
+        """Totals-only evaluation with per-destination segments.
+
+        Instead of closing a whole-matrix segment whenever *any*
+        destination reclassifies, each destination carries its own segment
+        start and is accounted only when *it* reclassifies (and once at the
+        end).  Per-flow CBR counts telescope exactly across partitions of
+        the window, so the report totals are bit-identical to the
+        epoch-row path; only the per-epoch rows are not materialized.
+        """
+        segment_start: Dict[Union[int, str], float] = {}
+        classified = False
+        for t0, _t1, fib, changed in self._log.multi_epochs(start, end):
+            if not classified:
+                self._reclassify(fib, self._destinations)
+                classified = True
+                for dest in self._destinations:
+                    segment_start[dest] = t0
+                continue
+            invalid = self._invalidated(changed)
+            if invalid:
+                for dest in invalid:
+                    self._flush_destination(report, dest, segment_start[dest], t0)
+                    segment_start[dest] = t0
+                self._reclassify(fib, invalid)
+        if classified:
+            for dest in self._destinations:
+                self._flush_destination(report, dest, segment_start[dest], end)
+        return report
+
+    def _flush_destination(
+        self, report: TrafficReport, dest: Union[int, str], t0: float, t1: float
+    ) -> None:
+        """Account one destination's flows over ``[t0, t1)`` (totals only)."""
+        lo, hi = self._dest_slice[dest]
+        for index in range(lo, hi):
+            count = self._flat_flows[index].count_in(t0, t1)
+            if not count:
+                continue
+            report.offered += count
+            fate = self._flat_fates[index]
+            if fate == _DELIVERED:
+                report.delivered += count
+            elif fate == _BLACKHOLED:
+                report.blackholed += count
+            else:
+                report.looped += count
+
     # ------------------------------------------------------------------
     # Segment machinery: cached fates, invalidation, exact accounting
     # ------------------------------------------------------------------
@@ -240,18 +317,19 @@ class TrafficMatrixEvaluator:
         it (opaque legacy name)."""
         if not changed:
             return []
-        specs = [(prefix, _parse_spec(prefix)) for prefix in changed]
-        invalid = []
-        for dest in self._destinations:
-            for prefix, spec in specs:
-                if spec is None:
-                    if dest == prefix:
-                        invalid.append(dest)
-                        break
-                elif isinstance(dest, int) and spec.contains(dest):
-                    invalid.append(dest)
-                    break
-        return invalid
+        touched: Set[Union[int, str]] = set()
+        for prefix in changed:
+            spec = _parse_spec(prefix)
+            if spec is None:
+                dest = self._opaque_dests.get(prefix)
+                if dest is not None:
+                    touched.add(dest)
+            else:
+                # Subtree walk over the /32 destination entries the changed
+                # prefix covers — O(hits), not O(destinations).
+                for _spec, dest in self._dest_trie.covered(spec):
+                    touched.add(dest)
+        return sorted(touched, key=self._dest_order.__getitem__)
 
     def _reclassify(
         self, fib: MultiPrefixFib, destinations: Sequence[Union[int, str]]
@@ -323,11 +401,61 @@ class TrafficMatrixEvaluator:
     def _classify(
         self, fib: MultiPrefixFib, destination: Union[int, str], sources: List[int]
     ) -> List[int]:
-        if self._numpy and self._ttl >= len(self._nodes):
+        # Vectorization has fixed per-call numpy overhead; on small graphs
+        # the memoized walks win.  Both backends produce the identical
+        # classification (pinned by the equivalence tests), so the cutover
+        # is a pure performance knob.
+        n = len(self._nodes)
+        if self._numpy and self._ttl >= n and n >= 16:
             return self._classify_vectorized(fib, destination, sources)
         return self._classify_walks(fib, destination, sources)
 
     def _classify_walks(
+        self, fib: MultiPrefixFib, destination: Union[int, str], sources: List[int]
+    ) -> List[int]:
+        if self._ttl < len(self._nodes):
+            # TTL can die of sheer path length; only the full hop-by-hop
+            # walk reproduces that fate exactly.
+            return self._classify_walks_ttl(fib, destination, sources)
+        # ttl >= node count: TTL death coincides with cycle membership, so
+        # one memoized walk classifies every node it touches.  Each trail's
+        # terminal fate (delivered / no-route / entered-a-cycle / reached an
+        # already-classified node) propagates to the whole trail — every
+        # node feeding a cycle spins with it.
+        fate_of: Dict[int, int] = {}
+        fates = []
+        for source in sources:
+            fate = fate_of.get(source)
+            if fate is None:
+                trail = []
+                on_trail: Dict[int, None] = {}
+                node = source
+                while True:
+                    fate = fate_of.get(node)
+                    if fate is not None:
+                        break
+                    hop = fib.next_hop(node, destination)
+                    if hop == node:
+                        fate = _DELIVERED
+                        trail.append(node)
+                        break
+                    if hop is None:
+                        fate = _BLACKHOLED
+                        trail.append(node)
+                        break
+                    if hop in on_trail:
+                        fate = _LOOPED
+                        trail.append(node)
+                        break
+                    on_trail[node] = None
+                    trail.append(node)
+                    node = hop
+                for walked in trail:
+                    fate_of[walked] = fate
+            fates.append(fate)
+        return fates
+
+    def _classify_walks_ttl(
         self, fib: MultiPrefixFib, destination: Union[int, str], sources: List[int]
     ) -> List[int]:
         cache: Dict[int, int] = {}

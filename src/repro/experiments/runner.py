@@ -329,7 +329,10 @@ def run_experiment(
             origins=scenario.origins_by_prefix(),
         )
         traffic = TrafficMatrixEvaluator(
-            fib_log, matrix, ttl=settings.ttl
+            fib_log,
+            matrix,
+            ttl=settings.ttl,
+            epoch_rows=settings.traffic_epoch_rows,
         ).evaluate(*window)
     result = LoopStudyResult(
         convergence=convergence,

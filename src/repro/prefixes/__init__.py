@@ -23,7 +23,7 @@ import re
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .errors import ConfigError
+from ..errors import ConfigError
 
 ADDRESS_BITS = 32
 """Width of the simulated address space."""
@@ -159,3 +159,16 @@ def longest_match(
         if spec.contains(address) and (best is None or spec.length > best[0].length):
             best = (spec, payload)
     return best
+
+
+from .trie import RadixTrie  # noqa: E402  (re-export; trie imports the above)
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_SPACE",
+    "PrefixSpec",
+    "RadixTrie",
+    "format_prefix",
+    "longest_match",
+    "parse_prefix",
+]

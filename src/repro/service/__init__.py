@@ -32,6 +32,7 @@ from .bench import (
     BenchCycle,
     BenchTarget,
     DEFAULT_TARGETS,
+    EXTRA_TARGETS,
     TrajectoryStore,
     run_bench_cycle,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "BenchTarget",
     "CANCELLED",
     "DEFAULT_TARGETS",
+    "EXTRA_TARGETS",
     "DONE",
     "DurableJobQueue",
     "EventBus",

@@ -49,7 +49,8 @@ class BenchTarget:
     args: tuple = ()
 
 
-#: The machine-readable benchmarks with committed JSON baselines.
+#: The machine-readable benchmarks with committed JSON baselines, run on
+#: every ``repro serve --bench-interval`` cycle.
 DEFAULT_TARGETS = (
     BenchTarget(
         name="hotpath",
@@ -60,6 +61,27 @@ DEFAULT_TARGETS = (
         name="multiprefix",
         script="bench_multiprefix.py",
         baseline="baselines/BENCH_multiprefix.json",
+    ),
+    BenchTarget(
+        name="churn",
+        script="bench_churn.py",
+        baseline="baselines/BENCH_churn.json",
+    ),
+    BenchTarget(
+        name="telemetry",
+        script="bench_telemetry.py",
+        baseline="baselines/BENCH_telemetry.json",
+    ),
+)
+
+#: Heavyweight targets addressable by name (``repro submit --bench`` /
+#: the nightly scaling workflow) but too slow for the default cycle.
+EXTRA_TARGETS = (
+    BenchTarget(
+        name="scaling",
+        script="bench_multiprefix.py",
+        baseline="baselines/BENCH_scaling.json",
+        args=("--population", "1024", "4096", "10240"),
     ),
 )
 
@@ -295,7 +317,9 @@ def run_bench_cycle(
     if not bench_dir.is_dir():
         raise ServiceError(f"bench directory {bench_dir} does not exist")
     chosen: List[BenchTarget] = []
-    by_name = {target.name: target for target in DEFAULT_TARGETS}
+    by_name = {
+        target.name: target for target in (*DEFAULT_TARGETS, *EXTRA_TARGETS)
+    }
     for entry in targets if targets is not None else DEFAULT_TARGETS:
         if isinstance(entry, BenchTarget):
             chosen.append(entry)

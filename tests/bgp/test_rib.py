@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.bgp import NOTHING_SENT, AdjRibIn, AdjRibOut, AsPath, LocRib, Route
+from repro.bgp import (
+    NOTHING_SENT,
+    AdjRibIn,
+    AdjRibOut,
+    AsPath,
+    LocRib,
+    Route,
+    RoutingPolicy,
+)
 
 
 def route_via(neighbor, *path_tail, prefix="d"):
@@ -59,6 +67,79 @@ class TestAdjRibIn:
         rib.put(3, route_via(3, 0, prefix="a"))
         pairs = [(n, r.prefix) for n, r in rib.entries()]
         assert pairs == [(3, "a"), (5, "a"), (5, "b")]
+
+
+class TestAdjRibInSharing:
+    """Copy-on-write structural sharing across prefixes (group_count is the
+    diagnostic; every value-level behavior above must hold regardless)."""
+
+    def fill(self, rib, prefixes):
+        for prefix in prefixes:
+            rib.put(5, route_via(5, 0, prefix=prefix))
+            rib.put(6, route_via(6, 4, 0, prefix=prefix))
+
+    def test_identical_candidate_sets_share_one_group(self):
+        rib = AdjRibIn()
+        self.fill(rib, ("a", "b", "c"))
+        assert len(rib) == 6
+        assert rib.group_count() == 1
+        assert rib.candidates("a") == [
+            route_via(5, 0, prefix="a"),
+            route_via(6, 4, 0, prefix="a"),
+        ]
+
+    def test_diverging_prefix_splits_its_group(self):
+        rib = AdjRibIn()
+        self.fill(rib, ("a", "b"))
+        rib.put(5, route_via(5, 9, 0, prefix="b"))
+        assert rib.group_count() == 2
+        assert rib.get(5, "a") == route_via(5, 0, prefix="a")
+        assert rib.get(5, "b") == route_via(5, 9, 0, prefix="b")
+
+    def test_reconverging_prefix_remerges(self):
+        rib = AdjRibIn()
+        self.fill(rib, ("a", "b"))
+        rib.put(5, route_via(5, 9, 0, prefix="b"))  # diverge
+        rib.put(5, route_via(5, 0, prefix="b"))  # converge back
+        assert rib.group_count() == 1
+
+    def test_remove_splits_then_remerges(self):
+        rib = AdjRibIn()
+        self.fill(rib, ("a", "b"))
+        assert rib.remove(5, "b") == route_via(5, 0, prefix="b")
+        assert rib.group_count() == 2
+        assert rib.remove(5, "a") == route_via(5, 0, prefix="a")
+        assert rib.group_count() == 1
+        assert rib.neighbors_with("a") == [6]
+
+    def test_drop_neighbor_with_shared_groups(self):
+        rib = AdjRibIn()
+        self.fill(rib, ("a", "b"))
+        assert rib.drop_neighbor(5) == ["a", "b"]
+        assert rib.group_count() == 1
+        assert rib.candidates("a") == [route_via(6, 4, 0, prefix="a")]
+
+    def test_reads_hand_back_interned_instances(self):
+        rib = AdjRibIn()
+        rib.put(5, route_via(5, 0))
+        route = rib.get(5, "d")
+        assert route is Route.of("d", AsPath((5, 0)), 5)
+        assert rib.candidates("d")[0] is route
+
+    def test_base_preference_key_still_shares(self):
+        policy = RoutingPolicy()
+        rib = AdjRibIn(policy.preference_key)
+        self.fill(rib, ("a", "b"))
+        assert rib.group_count() == 1
+        assert rib.best("a") == route_via(5, 0, prefix="a")
+        assert rib.best("b") == route_via(5, 0, prefix="b")
+
+    def test_custom_preference_key_disables_sharing(self):
+        # A prefix-dependent ranking must not be shared across prefixes.
+        rib = AdjRibIn(lambda route: (route.prefix, route.hop_count))
+        self.fill(rib, ("a", "b"))
+        assert rib.group_count() == 2
+        assert rib.best("a") == route_via(5, 0, prefix="a")
 
 
 class TestLocRib:

@@ -1,8 +1,10 @@
 """Unit tests for Route."""
 
+import pickle
+
 import pytest
 
-from repro.bgp import AsPath, Route, local_route
+from repro.bgp import AsPath, Route, intern_route, local_route
 
 
 class TestValidation:
@@ -40,3 +42,50 @@ class TestBehavior:
         a = Route(prefix="d", path=AsPath((5, 0)), next_hop=5, local_pref=100)
         b = Route(prefix="d", path=AsPath((5, 0)), next_hop=5, local_pref=200)
         assert a != b
+
+
+class TestInterning:
+    def test_same_key_is_same_object(self):
+        a = intern_route("d", AsPath((5, 0)), 5)
+        b = intern_route("d", AsPath((5, 0)), 5)
+        assert a is b
+        assert Route.of("d", AsPath((5, 0)), 5) is a
+
+    def test_distinct_keys_are_distinct(self):
+        a = intern_route("d", AsPath((5, 0)), 5)
+        b = intern_route("d", AsPath((5, 0)), 5, local_pref=200)
+        assert a is not b and a != b
+
+    def test_uninterned_path_lands_on_shared_instance(self):
+        # A fresh (non-canonical) AsPath argument must still hit the table.
+        a = intern_route("d", AsPath.of((5, 0)), 5)
+        b = intern_route("d", AsPath((5, 0)), 5)
+        assert a is b
+        assert a.path is AsPath.of((5, 0))
+
+    def test_interned_routes_carry_no_timestamp(self):
+        assert intern_route("d", AsPath((5, 0)), 5).learned_at == 0.0
+
+    def test_direct_construction_compares_equal_to_canonical(self):
+        direct = Route(prefix="d", path=AsPath((5, 0)), next_hop=5, learned_at=3.0)
+        canonical = intern_route("d", AsPath((5, 0)), 5)
+        assert direct == canonical
+        assert hash(direct) == hash(canonical)
+        assert direct is not canonical
+
+    def test_local_route_default_is_interned(self):
+        assert local_route("d") is local_route("d")
+        timed = local_route("d", learned_at=4.0)
+        assert timed is not local_route("d")
+        assert timed == local_route("d")
+
+    def test_pickle_reinterns_timestamp_free_routes(self):
+        route = intern_route("d", AsPath((5, 0)), 5)
+        assert pickle.loads(pickle.dumps(route)) is route
+
+    def test_pickle_preserves_timestamp_uninterned(self):
+        timed = Route(prefix="d", path=AsPath((5, 0)), next_hop=5, learned_at=2.5)
+        clone = pickle.loads(pickle.dumps(timed))
+        assert clone == timed
+        assert clone.learned_at == 2.5
+        assert clone is not intern_route("d", AsPath((5, 0)), 5)

@@ -217,6 +217,42 @@ class TestEvaluator:
         ).evaluate(0.0, 3.0)
         assert fast.epoch_rows == slow.epoch_rows
 
+    def test_totals_mode_matches_epoch_rows_mode(self):
+        """``epoch_rows=False`` is the memory-lean 10k-prefix path: the
+        totals must be bit-identical to the row-keeping evaluation, with
+        the row log simply absent."""
+        log, matrix = scripted_log(), matrix_for_log()
+        full = TrafficMatrixEvaluator(log, matrix, use_numpy=False).evaluate(
+            0.0, 3.0
+        )
+        lean = TrafficMatrixEvaluator(
+            log, matrix, use_numpy=False, epoch_rows=False
+        ).evaluate(0.0, 3.0)
+        assert (lean.offered, lean.delivered, lean.blackholed, lean.looped) == (
+            full.offered,
+            full.delivered,
+            full.blackholed,
+            full.looped,
+        )
+        assert lean.epoch_rows == []
+        assert full.epoch_rows
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not importable")
+    def test_totals_mode_backend_parity(self):
+        log, matrix = scripted_log(), matrix_for_log()
+        fast = TrafficMatrixEvaluator(
+            log, matrix, use_numpy=True, epoch_rows=False
+        ).evaluate(0.0, 3.0)
+        slow = TrafficMatrixEvaluator(
+            log, matrix, use_numpy=False, epoch_rows=False
+        ).evaluate(0.0, 3.0)
+        assert (fast.offered, fast.delivered, fast.blackholed, fast.looped) == (
+            slow.offered,
+            slow.delivered,
+            slow.blackholed,
+            slow.looped,
+        )
+
     def test_flow_count_matches_matrix(self):
         matrix = matrix_for_log()
         report = TrafficMatrixEvaluator(
